@@ -1,0 +1,236 @@
+(* ultraspan command-line interface.
+
+   dune exec bin/ultraspan_cli.exe -- generate --family grid --n 100 -o g.txt
+   dune exec bin/ultraspan_cli.exe -- spanner --algo ultra --t 4 -i g.txt
+   dune exec bin/ultraspan_cli.exe -- certificate --algo packing --k 3 -i g.txt
+   dune exec bin/ultraspan_cli.exe -- stats -i g.txt *)
+
+open Ultraspan
+open Cmdliner
+
+(* ---------- shared arguments ---------- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input graph (edge list; see Graph_io).")
+
+let family_arg =
+  Arg.(
+    value
+    & opt string "gnp"
+    & info [ "family" ] ~docv:"FAM"
+        ~doc:
+          "Graph family: gnp | geometric | grid | torus | hypercube | harary \
+           | path | cycle | preferential.")
+
+let n_arg =
+  Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Vertex count.")
+
+let degree_arg =
+  Arg.(
+    value & opt float 8.0
+    & info [ "degree" ] ~docv:"D" ~doc:"Average degree (gnp/preferential).")
+
+let weights_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "max-weight" ] ~docv:"W"
+        ~doc:"Randomize integer weights in [1, W] (1 = unweighted).")
+
+let k_arg doc = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc)
+
+let t_arg =
+  Arg.(value & opt int 4 & info [ "t" ] ~docv:"T" ~doc:"Sparsity parameter t.")
+
+let eps_arg =
+  Arg.(value & opt float 0.5 & info [ "epsilon" ] ~docv:"EPS" ~doc:"Epsilon.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write result to FILE.")
+
+let make_graph family n degree max_w seed =
+  let rng = Rng.create seed in
+  let g =
+    match family with
+    | "gnp" -> Generators.connected_gnp ~rng ~n ~avg_degree:degree
+    | "geometric" ->
+        Generators.ensure_connected ~rng
+          (Generators.random_geometric ~rng ~n
+             ~radius:(sqrt (degree /. (3.14 *. float_of_int n))))
+    | "grid" ->
+        let s = int_of_float (sqrt (float_of_int n)) in
+        Generators.grid s s
+    | "torus" ->
+        let s = max 3 (int_of_float (sqrt (float_of_int n))) in
+        Generators.torus s s
+    | "hypercube" ->
+        Generators.hypercube
+          (int_of_float (Float.log2 (float_of_int (max 2 n))))
+    | "harary" -> Generators.harary ~k:(int_of_float degree) ~n
+    | "path" -> Generators.path n
+    | "cycle" -> Generators.cycle n
+    | "preferential" ->
+        Generators.preferential_attachment ~rng ~n
+          ~degree:(max 1 (int_of_float degree))
+    | f -> failwith ("unknown family: " ^ f)
+  in
+  if max_w > 1 then Generators.randomize_weights ~rng ~lo:1 ~hi:max_w g else g
+
+let load_graph input family n degree max_w seed =
+  match input with
+  | Some path -> Graph_io.load path
+  | None -> make_graph family n degree max_w seed
+
+(* ---------- generate ---------- *)
+
+let generate family n degree max_w seed output =
+  let g = make_graph family n degree max_w seed in
+  (match output with
+  | Some path -> Graph_io.save path g
+  | None -> print_string (Graph_io.to_string g));
+  Format.eprintf "generated %a@." Graph.pp g
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a graph and print/save it.")
+    Term.(
+      const generate $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg
+      $ output_arg)
+
+(* ---------- stats ---------- *)
+
+let stats input family n degree max_w seed =
+  let g = load_graph input family n degree max_w seed in
+  Format.printf "%a@." Graph.pp g;
+  Printf.printf "max degree      : %d\n" (Graph.max_degree g);
+  let _, comps = Connectivity.components g in
+  Printf.printf "components      : %d\n" comps;
+  if Graph.n g <= 2000 then begin
+    Printf.printf "hop diameter    : %d\n" (Bfs.diameter_hops g)
+  end;
+  if Graph.n g <= 500 then
+    Printf.printf "edge connectivity: %d\n" (Maxflow.edge_connectivity g)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print basic statistics of a graph.")
+    Term.(
+      const stats $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg
+      $ seed_arg)
+
+(* ---------- spanner ---------- *)
+
+let spanner algo k t input family n degree max_w seed output =
+  let g = load_graph input family n degree max_w seed in
+  Format.printf "input: %a@." Graph.pp g;
+  let sp =
+    match algo with
+    | "bs" ->
+        (Baswana_sen.run ~rng:(Rng.create seed) ~k g).Baswana_sen.spanner
+    | "bs-derand" -> (Bs_derand.run ~k g).Bs_derand.spanner
+    | "linear" -> (Linear_size.run g).Linear_size.spanner
+    | "linear-random" ->
+        (Linear_size.run ~variant:(Linear_size.Randomized (Rng.create seed)) g)
+          .Linear_size.spanner
+    | "ultra" -> (Ultra_sparse.run ~t g).Ultra_sparse.spanner
+    | "greedy" -> Greedy.run ~k g
+    | "en" ->
+        (Elkin_neiman.run ~rng:(Rng.create seed) ~k g).Elkin_neiman.spanner
+    | "clustering" -> (Clustering_spanner.sparse g).Clustering_spanner.spanner
+    | "clustering-ultra" ->
+        (Clustering_spanner.ultra_sparse ~t g).Clustering_spanner.spanner
+    | a -> failwith ("unknown algorithm: " ^ a)
+  in
+  Printf.printf "spanner edges   : %d (%.2f per vertex)\n" (Spanner.size sp)
+    (float_of_int (Spanner.size sp) /. float_of_int (Graph.n g));
+  Printf.printf "spanning        : %b\n" (Spanner.is_spanning g sp);
+  if Graph.n g <= 4096 then
+    Printf.printf "exact stretch   : %.2f\n"
+      (Stretch.max_edge_stretch g sp.Spanner.keep);
+  Printf.printf "simulated rounds: %d\n" (Spanner.total_rounds sp);
+  match output with
+  | None -> ()
+  | Some path ->
+      Graph_io.save path (Graph.sub_by_eids g sp.Spanner.keep);
+      Printf.printf "wrote spanner to %s\n" path
+
+let spanner_algo_arg =
+  Arg.(
+    value & opt string "ultra"
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          "bs | bs-derand | linear | linear-random | ultra | greedy | en | \
+           clustering | clustering-ultra.")
+
+let spanner_cmd =
+  Cmd.v
+    (Cmd.info "spanner" ~doc:"Compute a spanner and report its guarantees.")
+    Term.(
+      const spanner $ spanner_algo_arg
+      $ k_arg "Stretch parameter k (stretch 2k-1)."
+      $ t_arg $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg
+      $ seed_arg $ output_arg)
+
+(* ---------- certificate ---------- *)
+
+let certificate algo k eps input family n degree max_w seed output =
+  let g = load_graph input family n degree max_w seed in
+  Format.printf "input: %a@." Graph.pp g;
+  let c =
+    match algo with
+    | "ni" -> Nagamochi_ibaraki.certificate ~k g
+    | "thurimella" -> Thurimella.certificate ~k g
+    | "packing" ->
+        (Spanner_packing.run ~k ~epsilon:eps g).Spanner_packing.certificate
+    | "karger" ->
+        (Karger_split.run ~rng:(Rng.create seed) ~k ~epsilon:eps g)
+          .Karger_split.certificate
+    | a -> failwith ("unknown algorithm: " ^ a)
+  in
+  Printf.printf "certificate edges: %d (%.2f x kn)\n" (Certificate.size c)
+    (float_of_int (Certificate.size c) /. float_of_int (k * Graph.n g));
+  if Graph.n g <= 500 then begin
+    let lg, lh = Certificate.preserved_connectivity g c in
+    Printf.printf "connectivity     : G %d -> H %d (capped at k+1)\n" lg lh;
+    Printf.printf "valid certificate: %b\n" (Certificate.is_certificate g c)
+  end;
+  Printf.printf "simulated rounds : %d\n" (Ultraspan.Rounds.total c.Certificate.rounds);
+  match output with
+  | None -> ()
+  | Some path ->
+      Graph_io.save path (Certificate.subgraph g c);
+      Printf.printf "wrote certificate to %s\n" path
+
+let cert_algo_arg =
+  Arg.(
+    value & opt string "packing"
+    & info [ "algo" ] ~docv:"ALGO" ~doc:"ni | thurimella | packing | karger.")
+
+let certificate_cmd =
+  Cmd.v
+    (Cmd.info "certificate" ~doc:"Compute a k-connectivity certificate.")
+    Term.(
+      const certificate $ cert_algo_arg $ k_arg "Connectivity parameter k."
+      $ eps_arg $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg
+      $ seed_arg $ output_arg)
+
+(* ---------- main ---------- *)
+
+let () =
+  let info =
+    Cmd.info "ultraspan" ~version:"1.0"
+      ~doc:
+        "Deterministic distributed sparse and ultra-sparse spanners and \
+         connectivity certificates (SPAA 2022 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ generate_cmd; stats_cmd; spanner_cmd; certificate_cmd ]))

@@ -1,0 +1,59 @@
+(* The paper's central trick, watched live: Lemma 3.3 turns Baswana–Sen's
+   expected-size guarantees into deterministic per-iteration facts via the
+   method of conditional expectations.
+
+   This demo runs the derandomized simulation and prints, for every
+   iteration, the guarantee triple the implementation asserts:
+     - number of sampled clusters        vs the bound n·p^i,
+     - spanner edges charged this round  vs the utility budget,
+     - high-degree deaths                (must be exactly 0),
+   and then contrasts the deterministic output with the spread of the
+   randomized algorithm over many seeds.
+
+   Run with:  dune exec examples/derandomization_demo.exe *)
+
+open Ultraspan
+
+let () =
+  let n = 1500 in
+  let k = 3 in
+  let rng = Rng.create 1 in
+  let g =
+    Generators.weighted_connected_gnp ~rng ~n ~avg_degree:64.0 ~max_w:(n * n)
+  in
+  Printf.printf "graph: n=%d m=%d   derandomized Baswana-Sen with k=%d\n\n"
+    (Graph.n g) (Graph.m g) k;
+
+  let out = Bs_derand.run ~k g in
+  Printf.printf "%-5s %12s %12s %14s %14s %12s\n" "iter" "clusters"
+    "bound n·p^i" "edges charged" "edge budget" "hi-deg died";
+  print_endline (String.make 76 '-');
+  List.iter
+    (fun gu ->
+      Printf.printf "%-5d %12d %12d %14d %14.0f %12d\n" gu.Bs_derand.iteration
+        gu.Bs_derand.clusters gu.Bs_derand.cluster_bound
+        gu.Bs_derand.edges_added gu.Bs_derand.edge_bound
+        gu.Bs_derand.high_degree_died)
+    out.Bs_derand.guarantees;
+  let det_size = Spanner.size out.Bs_derand.spanner in
+  Printf.printf "\ndeterministic spanner: %d edges, stretch %.2f <= %d\n"
+    det_size
+    (Stretch.max_edge_stretch g out.Bs_derand.spanner.Spanner.keep)
+    ((2 * k) - 1);
+
+  (* The randomized spread it replaces. *)
+  let sizes =
+    Array.init 12 (fun i ->
+        let rng = Rng.create (7000 + i) in
+        float_of_int
+          (Spanner.size (Baswana_sen.run ~rng ~k g).Baswana_sen.spanner))
+  in
+  let lo, hi = Stats.min_max sizes in
+  Printf.printf
+    "randomized Baswana-Sen over 12 seeds: min %.0f / mean %.0f / max %.0f \
+     edges\n"
+    lo (Stats.mean sizes) hi;
+  Printf.printf
+    "\nThe point: every run of the left column is identical (no randomness \
+     anywhere),\nand each guarantee above is checked by the implementation — \
+     a violation would raise.\n"

@@ -1,0 +1,86 @@
+(* Resilient overlay provisioning with connectivity certificates.
+
+   An overlay operator wants to survive any k-1 simultaneous link failures
+   while leasing as few links as possible.  A k-connectivity certificate of
+   the full mesh is exactly that: it is k-edge-connected iff the mesh is,
+   with O(kn) links instead of O(n^2).
+
+   We build certificates with all four algorithms of the library, check
+   their guarantees against exact edge connectivity, and then actually
+   bombard the chosen overlay with random link failures to see it hold up.
+
+   Run with:  dune exec examples/resilient_overlay.exe *)
+
+open Ultraspan
+
+let () =
+  let n = 120 in
+  let k = 4 in
+  (* A dense-ish mesh with guaranteed k+1 connectivity underneath. *)
+  let base = Generators.harary ~k:(k + 2) ~n in
+  let rng = Rng.create 9 in
+  let extra =
+    List.filter_map
+      (fun _ ->
+        let a = Rng.int rng n and b = Rng.int rng n in
+        if a = b then None else Some (a, b, 1))
+      (List.init (3 * n) Fun.id)
+  in
+  let g =
+    Graph.of_edges ~n
+      (extra
+      @ Array.to_list
+          (Array.map (fun e -> (e.Graph.u, e.Graph.v, 1)) (Graph.edges base)))
+  in
+  Printf.printf "full mesh: %d nodes, %d links, edge connectivity %d\n\n"
+    (Graph.n g) (Graph.m g) (Maxflow.edge_connectivity g);
+
+  Printf.printf "target: survive any %d link failures (k = %d)\n\n" (k - 1) k;
+  Printf.printf "%-26s %8s %12s %14s\n" "certificate" "links" "lambda(H)"
+    "sim. rounds";
+  print_endline (String.make 68 '-');
+  let candidates =
+    [
+      ("Nagamochi-Ibaraki", Nagamochi_ibaraki.certificate ~k g);
+      ("Thurimella k-forests", Thurimella.certificate ~k g);
+      ( "spanner packing (Thm G.1)",
+        (Spanner_packing.run ~k ~epsilon:0.5 g).Spanner_packing.certificate );
+      ( "Karger split (Thm 1.9)",
+        (Karger_split.run ~rng:(Rng.create 4) ~k ~epsilon:0.4 g)
+          .Karger_split.certificate );
+    ]
+  in
+  List.iter
+    (fun (name, c) ->
+      let h = Certificate.subgraph g c in
+      Printf.printf "%-26s %8d %12d %14d\n" name (Certificate.size c)
+        (Maxflow.edge_connectivity h)
+        (Ultraspan.Rounds.total c.Certificate.rounds))
+    candidates;
+
+  (* Failure injection on the Theorem G.1 overlay. *)
+  let _, cert = List.nth candidates 2 in
+  let overlay = Certificate.subgraph g cert in
+  let trials = 2000 in
+  let survived = ref 0 in
+  let frng = Rng.create 31337 in
+  for _ = 1 to trials do
+    (* fail k-1 random overlay links *)
+    let m = Graph.m overlay in
+    let failed = Array.make m false in
+    let remaining = ref (k - 1) in
+    while !remaining > 0 do
+      let e = Rng.int frng m in
+      if not failed.(e) then begin
+        failed.(e) <- true;
+        decr remaining
+      end
+    done;
+    let alive = Graph.sub_by_eids overlay (Array.map not failed) in
+    if Connectivity.is_connected alive then incr survived
+  done;
+  Printf.printf
+    "\nfailure injection on the Thm G.1 overlay: %d/%d random %d-link failure \
+     patterns survived\n"
+    !survived trials (k - 1);
+  assert (!survived = trials)

@@ -1,0 +1,66 @@
+open! Import
+
+type t = { keep : bool array; rounds : Rounds.t; k : int }
+
+let of_eids g ~k ?rounds eids =
+  let keep = Array.make (Graph.m g) false in
+  List.iter
+    (fun id ->
+      if id < 0 || id >= Graph.m g then invalid_arg "Certificate.of_eids";
+      keep.(id) <- true)
+    eids;
+  {
+    keep;
+    rounds = (match rounds with Some r -> r | None -> Rounds.create ());
+    k;
+  }
+
+let size t = Array.fold_left (fun a b -> if b then a + 1 else a) 0 t.keep
+
+let subgraph g t = Graph.sub_by_eids g t.keep
+
+let union a b =
+  if Array.length a.keep <> Array.length b.keep then
+    invalid_arg "Certificate.union: different graphs";
+  let rounds = Rounds.create () in
+  Rounds.merge_into rounds a.rounds;
+  Rounds.merge_into rounds b.rounds;
+  {
+    keep = Array.mapi (fun i k -> k || b.keep.(i)) a.keep;
+    rounds;
+    k = max a.k b.k;
+  }
+
+let preserved_connectivity g t =
+  let h = subgraph g t in
+  let lg = Maxflow.edge_connectivity ~upper:t.k g in
+  let lh = Maxflow.edge_connectivity ~upper:t.k h in
+  (lg, lh)
+
+let is_certificate g t =
+  let lg, lh = preserved_connectivity g t in
+  lh >= min t.k lg
+
+let cut_property_exhaustive g t =
+  let n = Graph.n g in
+  if n > 22 then invalid_arg "Certificate.cut_property_exhaustive: n too large";
+  if n < 2 then true
+  else begin
+    let ok = ref true in
+    (* Fix vertex 0 on one side; enumerate the other n-1 memberships. *)
+    let total = 1 lsl (n - 1) in
+    let side = Array.make n false in
+    for mask = 1 to total - 1 do
+      for v = 1 to n - 1 do
+        side.(v) <- (mask lsr (v - 1)) land 1 = 1
+      done;
+      let in_g = ref 0 and in_h = ref 0 in
+      Graph.iter_edges g (fun e ->
+          if side.(e.Graph.u) <> side.(e.Graph.v) then begin
+            incr in_g;
+            if t.keep.(e.Graph.id) then incr in_h
+          end);
+      if not (!in_h = !in_g || !in_h >= t.k) then ok := false
+    done;
+    !ok
+  end

@@ -1,0 +1,37 @@
+open! Import
+
+(** Connectivity certificates (Section 1.3, Appendix G).
+
+    A k-connectivity certificate of G is a spanning subgraph H such that H
+    is k-edge-connected whenever G is.  All constructions in this library
+    return a {!t}; the validation helpers here are the ground truth used by
+    the tests and the bench harness. *)
+
+type t = {
+  keep : bool array;  (** edge mask over the input graph *)
+  rounds : Rounds.t;
+  k : int;  (** the connectivity parameter this certificate was built for *)
+}
+
+val of_eids : Graph.t -> k:int -> ?rounds:Rounds.t -> int list -> t
+
+val size : t -> int
+
+val subgraph : Graph.t -> t -> Graph.t
+
+val union : t -> t -> t
+
+val is_certificate : Graph.t -> t -> bool
+(** λ(H) >= min(k, λ(G)): H preserves edge connectivity up to k.  This is
+    (slightly stronger than) the definition — it also covers graphs that
+    are not k-edge-connected, for which the certificate must retain their
+    actual connectivity up to k. *)
+
+val preserved_connectivity : Graph.t -> t -> int * int
+(** (λ(G) capped at k+1, λ(H) capped at k+1) — the pair the bench
+    reports. *)
+
+val cut_property_exhaustive : Graph.t -> t -> bool
+(** Appendix G's stronger invariant, checked by enumerating all 2^(n-1)
+    cuts: every cut of G keeps either all of its edges or at least k of
+    them in H.  Only for n <= 22 (raises otherwise). *)

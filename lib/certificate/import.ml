@@ -1,0 +1,13 @@
+(** Short aliases for the substrate libraries (opened by every module of
+    this library). *)
+
+module Graph = Ultraspan_graph.Graph
+module Bfs = Ultraspan_graph.Bfs
+module Maxflow = Ultraspan_graph.Maxflow
+module Connectivity = Ultraspan_graph.Connectivity
+module Spanning_tree = Ultraspan_graph.Spanning_tree
+module Rounds = Ultraspan_congest.Rounds
+module Spanner = Ultraspan_spanner.Spanner
+module Ultra_sparse = Ultraspan_spanner.Ultra_sparse
+module Util = Ultraspan_util
+module Rng = Ultraspan_util.Rng

@@ -1,0 +1,51 @@
+open! Import
+
+type outcome = { certificate : Certificate.t; groups : int; k_inner : int }
+
+let size_bound ~n ~k ~epsilon =
+  float_of_int n *. float_of_int k *. (1.0 +. (8.0 *. epsilon))
+
+let run ?(c = 3.0) ~rng ~k ~epsilon g =
+  if k < 1 then invalid_arg "Karger_split.run: k >= 1";
+  if epsilon <= 0.0 || epsilon >= 0.5 then
+    invalid_arg "Karger_split.run: epsilon in (0, 1/2)";
+  if c <= 0.0 then invalid_arg "Karger_split.run: c > 0";
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let q =
+    max 1
+      (int_of_float
+         (floor
+            (float_of_int k *. epsilon *. epsilon
+            /. (c *. log (float_of_int (max 2 n))))))
+  in
+  let k_inner =
+    int_of_float
+      (ceil (float_of_int k *. (1.0 +. epsilon) /. (float_of_int q *. (1.0 -. epsilon))))
+  in
+  let assignment = Array.init m (fun _ -> Rng.int rng q) in
+  let keep = Array.make m false in
+  let rounds = Rounds.create () in
+  let max_group_rounds = ref 0 in
+  for group = 0 to q - 1 do
+    let mask = Array.mapi (fun eid _ -> assignment.(eid) = group) keep in
+    let sub, mapping = Graph.sub_with_mapping g mask in
+    if Graph.m sub > 0 then begin
+      let out = Spanner_packing.run ~k:k_inner ~epsilon sub in
+      let cert = out.Spanner_packing.certificate in
+      Array.iteri
+        (fun sub_eid kept -> if kept then keep.(mapping.(sub_eid)) <- true)
+        cert.Certificate.keep;
+      let r = Rounds.total cert.Certificate.rounds in
+      if r > !max_group_rounds then max_group_rounds := r
+    end
+  done;
+  (* Groups run simultaneously on the same network; the split multiplies
+     congestion by at most O(1) in expectation per edge, so we charge the
+     maximum group cost. *)
+  Rounds.charge ~label:"karger:parallel-groups" rounds !max_group_rounds;
+  {
+    certificate = { Certificate.keep; rounds; k };
+    groups = q;
+    k_inner;
+  }

@@ -1,0 +1,26 @@
+open! Import
+
+(** Randomized polylog-round certificates via Karger edge splitting
+    (Theorem 1.9).
+
+    Edges are split uniformly at random into Q = Θ(k·ε²/log n) groups;
+    each group gets a k' = ceil(k(1+ε)/(Q(1-ε)))-connectivity certificate
+    by spanner packing (computed in parallel across groups — the round
+    account takes the maximum, not the sum); the union is, w.h.p., an
+    *exact* k-connectivity certificate of G with at most kn(1+O(ε)) edges.
+    When Q = 1 this degenerates to Theorem G.1 itself. *)
+
+type outcome = {
+  certificate : Certificate.t;
+  groups : int;  (** Q *)
+  k_inner : int;  (** k' *)
+}
+
+val run : ?c:float -> rng:Rng.t -> k:int -> epsilon:float -> Graph.t -> outcome
+(** Requires [k >= 1] and [0 < epsilon < 1/2].  [c] (default 3.0) is the
+    constant in Q = floor(k·ε²/(c·ln n)); Karger's theorem wants it large
+    enough for the w.h.p. guarantee — tests lower it to exercise Q > 1 at
+    laptop scale, trading failure probability they then measure. *)
+
+val size_bound : n:int -> k:int -> epsilon:float -> float
+(** n·k·(1+8ε), the bound from Appendix G's final computation. *)

@@ -1,0 +1,32 @@
+open! Import
+
+type outcome = {
+  certificate : Certificate.t;
+  size : int;
+  lower_bound : int;
+  ratio : float;
+  connectivity_checked : bool;
+}
+
+let approximate ?(epsilon = 0.25) ?(verify_upto = 400) ~k g =
+  if k < 1 then invalid_arg "Kecss.approximate: k >= 1";
+  let n = Graph.n g in
+  let check = n <= verify_upto in
+  if check && not (Maxflow.is_k_edge_connected g k) then
+    invalid_arg "Kecss.approximate: input is not k-edge-connected";
+  let out = Spanner_packing.run ~k ~epsilon g in
+  let certificate = out.Spanner_packing.certificate in
+  if check then begin
+    let h = Certificate.subgraph g certificate in
+    if not (Maxflow.is_k_edge_connected h k) then
+      failwith "Kecss.approximate: certificate lost connectivity (bug)"
+  end;
+  let size = Certificate.size certificate in
+  let lower_bound = ((k * n) + 1) / 2 in
+  {
+    certificate;
+    size;
+    lower_bound;
+    ratio = float_of_int size /. float_of_int (max 1 lower_bound);
+    connectivity_checked = check;
+  }

@@ -1,0 +1,28 @@
+open! Import
+
+(** Approximation for the k-edge-connected spanning subgraph problem
+    (k-ECSS), the optimization framing of Section 1.3.
+
+    Given a k-edge-connected graph, any k-connectivity certificate is a
+    k-edge-connected spanning subgraph; with Theorem G.1's packing it has
+    at most kn(1+ε) edges, against the universal lower bound of
+    ceil(kn/2) edges (every vertex needs degree >= k).  That makes it a
+    2(1+ε)-approximation — and, unlike Parter's certificate [Par19], with
+    {e exact} connectivity k, not k(1-ε). *)
+
+type outcome = {
+  certificate : Certificate.t;
+  size : int;
+  lower_bound : int;  (** ceil(k·n/2) *)
+  ratio : float;  (** size / lower_bound — guaranteed <= 2(1+ε) + o(1) *)
+  connectivity_checked : bool;
+      (** whether the exact λ(H) >= k check ran (skipped above the
+          verification size cutoff) *)
+}
+
+val approximate :
+  ?epsilon:float -> ?verify_upto:int -> k:int -> Graph.t -> outcome
+(** [approximate ~k g]: requires λ(G) >= k, which is verified for graphs
+    with at most [verify_upto] vertices (default 400) and trusted above.
+    Raises [Invalid_argument] if the check runs and fails.
+    [epsilon] defaults to 0.25. *)

@@ -1,0 +1,50 @@
+open! Import
+
+let forests g =
+  let n = Graph.n g in
+  let label = Array.make (Graph.m g) 0 in
+  let r = Array.make n 0 in
+  let scanned = Array.make n false in
+  (* Bucket queue on r-values (each bounded by n). *)
+  let buckets = Array.make (n + 2) [] in
+  for v = 0 to n - 1 do
+    buckets.(0) <- v :: buckets.(0)
+  done;
+  let top = ref 0 in
+  let rec pop () =
+    if !top < 0 then None
+    else
+      match buckets.(!top) with
+      | [] ->
+          decr top;
+          pop ()
+      | v :: rest ->
+          buckets.(!top) <- rest;
+          if scanned.(v) || r.(v) <> !top then pop () (* stale entry *)
+          else Some v
+  in
+  let rec scan_all () =
+    match pop () with
+    | None -> ()
+    | Some v ->
+        scanned.(v) <- true;
+        Graph.iter_adj g v (fun u eid ->
+            if not scanned.(u) then begin
+              r.(u) <- r.(u) + 1;
+              label.(eid) <- r.(u);
+              buckets.(r.(u)) <- u :: buckets.(r.(u));
+              if r.(u) > !top then top := r.(u)
+            end);
+        scan_all ()
+  in
+  scan_all ();
+  label
+
+let certificate ~k g =
+  if k < 1 then invalid_arg "Nagamochi_ibaraki.certificate: k >= 1";
+  let label = forests g in
+  let keep = Array.map (fun l -> l >= 1 && l <= k) label in
+  let rounds = Rounds.create () in
+  (* Sequential baseline: charge the trivial bound of one round per scan. *)
+  Rounds.charge ~label:"ni:sequential" rounds (Graph.n g);
+  { Certificate.keep; rounds; k }

@@ -1,0 +1,15 @@
+open! Import
+
+(** Nagamochi–Ibaraki scan-first forest decomposition — the classical
+    sequential sparse-certificate baseline.
+
+    One maximum-adjacency sweep labels every edge with a forest index
+    r >= 1 such that each label class is a forest and the union of the
+    first k forests is a k-connectivity certificate with at most k(n-1)
+    edges.  O(m + n) with a bucket queue. *)
+
+val forests : Graph.t -> int array
+(** Edge id -> forest index (>= 1). *)
+
+val certificate : k:int -> Graph.t -> Certificate.t
+(** Union of the first [k] forests. *)

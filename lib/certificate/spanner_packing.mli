@@ -1,0 +1,22 @@
+open! Import
+
+(** Ultra-sparse spanner packing (Theorem G.1).
+
+    k peeling steps; step i removes a deterministic ultra-sparse spanner
+    (Theorem 1.6, with t = ceil(1/ε), hence at most n(1+ε) edges) from what
+    is left of the graph.  Because every spanner is a skeleton, each cut of
+    G loses edges to the peeled layers only while at least one layer still
+    crosses it — so the union keeps all, or at least k, edges of every cut
+    (the exact-connectivity argument of Appendix G).  Total size at most
+    k·n·(1+ε); round cost k·polylog(n)/ε. *)
+
+type outcome = {
+  certificate : Certificate.t;
+  layers : int list;  (** edges peeled per step *)
+}
+
+val run : k:int -> epsilon:float -> Graph.t -> outcome
+(** Requires [k >= 1] and [epsilon > 0]. *)
+
+val size_bound : n:int -> k:int -> epsilon:float -> float
+(** k·n·(1+ε) plus the forest slack; the guarantee tested against. *)

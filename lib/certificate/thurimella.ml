@@ -1,0 +1,40 @@
+open! Import
+
+let certificate ~k g =
+  if k < 1 then invalid_arg "Thurimella.certificate: k >= 1";
+  let keep = Array.make (Graph.m g) false in
+  let removed = Array.make (Graph.m g) false in
+  let continue = ref true in
+  let i = ref 0 in
+  while !continue && !i < k do
+    incr i;
+    (* Spanning forest of the remaining edges: BFS forest restricted. *)
+    let n = Graph.n g in
+    let seen = Array.make n false in
+    let added = ref 0 in
+    let q = Queue.create () in
+    for s = 0 to n - 1 do
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        Queue.add s q;
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          Graph.iter_adj g v (fun u eid ->
+              if (not removed.(eid)) && not seen.(u) then begin
+                seen.(u) <- true;
+                keep.(eid) <- true;
+                removed.(eid) <- true;
+                incr added;
+                Queue.add u q
+              end)
+        done
+      end
+    done;
+    if !added = 0 then continue := false
+  done;
+  let rounds = Rounds.create () in
+  (* O(k (D + sqrt n)): estimate D by twice an eccentricity. *)
+  let d_est = if Graph.n g = 0 then 0 else 2 * Bfs.eccentricity g 0 in
+  Rounds.charge ~label:"thurimella:forests" rounds
+    (k * (d_est + int_of_float (sqrt (float_of_int (Graph.n g))) + 1));
+  { Certificate.keep; rounds; k }

@@ -1,0 +1,10 @@
+open! Import
+
+(** Thurimella's certificate [Thu97]: k rounds of spanning-forest peeling.
+
+    F_i is a spanning forest of G minus the first i-1 forests; the union of
+    F_1 ... F_k is a k-connectivity certificate with at most k(n-1) edges.
+    Distributed cost O(k(D + sqrt n)) rounds, which is what this module
+    charges — the baseline the paper's polylog algorithms beat. *)
+
+val certificate : k:int -> Graph.t -> Certificate.t

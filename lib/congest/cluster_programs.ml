@@ -1,0 +1,258 @@
+open! Import
+
+type partition = {
+  cluster_of : int array;
+  parent : int array;
+  roots : int array;
+}
+
+let of_partition (p : Ultraspan_graph.Partition.t) =
+  if Array.exists (fun c -> c < 0) p.Ultraspan_graph.Partition.cluster_of then
+    invalid_arg "Cluster_programs.of_partition: unclustered vertex";
+  {
+    cluster_of = Array.copy p.Ultraspan_graph.Partition.cluster_of;
+    parent = Array.copy p.Ultraspan_graph.Partition.parent;
+    roots = Array.copy p.Ultraspan_graph.Partition.roots;
+  }
+
+let tag_hello = 0 (* [| tag; cluster; parent_flag; annotation |] *)
+let tag_aggregate = 1 (* [| tag; a; b |] *)
+let tag_down = 2 (* [| tag; value |] *)
+
+type 'acc cv_state = {
+  children : int list;
+  pending : int; (* children yet to report *)
+  acc : 'acc;
+  nbr_cluster : (int * int * int) list;
+  done_ : bool;
+  result : 'acc option; (* at roots *)
+}
+
+(* Generic convergecast: accumulators are pairs of ints.  [local] computes a
+   vertex's own contribution once neighbour clusters/annotations are known;
+   [merge] combines accumulators. *)
+let convergecast g part ~annotation ~local ~merge ~identity =
+  let program =
+    {
+      Network.init =
+        (fun _ _ ->
+          {
+            children = [];
+            pending = -1;
+            acc = identity;
+            nbr_cluster = [];
+            done_ = false;
+            result = None;
+          });
+      round =
+        (fun g ~round ~me st inbox ->
+          if round = 0 then begin
+            (* hello: cluster + parent flag + annotation *)
+            let out =
+              List.map
+                (fun (u, _) ->
+                  ( u,
+                    [|
+                      tag_hello;
+                      part.cluster_of.(me);
+                      (if part.parent.(me) = u then 1 else 0);
+                      annotation.(me);
+                    |] ))
+                (Graph.neighbors g me)
+            in
+            { Network.state = st; out; halt = false }
+          end
+          else begin
+            (* fold in hellos (round 1 only) and child aggregates *)
+            let st =
+              if round = 1 then begin
+                let nbr_cluster =
+                  List.filter_map
+                    (fun (s, p) ->
+                      if p.(0) = tag_hello then Some (s, p.(1), p.(3)) else None)
+                    inbox
+                in
+                let children =
+                  List.filter_map
+                    (fun (s, p) ->
+                      if
+                        p.(0) = tag_hello && p.(2) = 1
+                        && p.(1) = part.cluster_of.(me)
+                      then Some s
+                      else None)
+                    inbox
+                in
+                {
+                  st with
+                  nbr_cluster;
+                  children;
+                  pending = List.length children;
+                  acc = local g me ~nbrs:nbr_cluster;
+                }
+              end
+              else st
+            in
+            let st =
+              List.fold_left
+                (fun st (_, p) ->
+                  if p.(0) = tag_aggregate then
+                    { st with
+                      acc = merge st.acc (p.(1), p.(2));
+                      pending = st.pending - 1;
+                    }
+                  else st)
+                st inbox
+            in
+            if st.done_ then { Network.state = st; out = []; halt = true }
+            else if st.pending = 0 then begin
+              if part.parent.(me) = -1 then
+                {
+                  Network.state = { st with done_ = true; result = Some st.acc };
+                  out = [];
+                  halt = true;
+                }
+              else begin
+                let a, b = st.acc in
+                {
+                  Network.state = { st with done_ = true };
+                  out = [ (part.parent.(me), [| tag_aggregate; a; b |]) ];
+                  halt = true;
+                }
+              end
+            end
+            else { Network.state = st; out = []; halt = false }
+          end);
+    }
+  in
+  let states, stats = Network.run ~word_limit:4 g program in
+  let out = Array.make (Array.length part.roots) None in
+  Array.iteri
+    (fun cid root ->
+      match states.(root).result with
+      | Some acc -> out.(cid) <- Some acc
+      | None -> failwith "Cluster_programs: root did not finish")
+    part.roots;
+  (out, stats)
+
+let no_annotation g = Array.make (Graph.n g) 0
+
+let reduce_to_roots g part ~annotation ~local ~merge ~identity =
+  if Array.length annotation <> Graph.n g then
+    invalid_arg "Cluster_programs.reduce_to_roots: annotation length";
+  let out, stats = convergecast g part ~annotation ~local ~merge ~identity in
+  (Array.map (function Some acc -> acc | None -> identity) out, stats)
+
+let sum_to_roots g part ~values =
+  if Array.length values <> Graph.n g then
+    invalid_arg "Cluster_programs.sum_to_roots: length mismatch";
+  let out, stats =
+    convergecast g part ~annotation:(no_annotation g)
+      ~local:(fun _ me ~nbrs:_ -> (values.(me), 0))
+      ~merge:(fun (a, _) (b, _) -> (a + b, 0))
+      ~identity:(0, 0)
+  in
+  (Array.map (function Some (a, _) -> a | None -> 0) out, stats)
+
+let cluster_of_nbr nbrs u =
+  List.find_map (fun (s, c, _) -> if s = u then Some c else None) nbrs
+
+let min_boundary_edges g part =
+  let none = (max_int, max_int) in
+  let out, stats =
+    convergecast g part ~annotation:(no_annotation g)
+      ~local:(fun g me ~nbrs ->
+        let best = ref none in
+        Graph.iter_adj g me (fun u eid ->
+            match cluster_of_nbr nbrs u with
+            | Some c when c <> part.cluster_of.(me) ->
+                let key = (Graph.weight g eid, eid) in
+                if key < !best then best := key
+            | _ -> ());
+        !best)
+      ~merge:min ~identity:none
+  in
+  ( Array.map
+      (function
+        | Some (w, eid) when (w, eid) <> none -> Some (w, eid)
+        | _ -> None)
+      out,
+    stats )
+
+type bc_state = {
+  bc_children : int list;
+  bc_value : int option;
+  bc_sent : bool;
+}
+
+let broadcast_from_roots g part ~values =
+  if Array.length values <> Array.length part.roots then
+    invalid_arg "Cluster_programs.broadcast_from_roots: length mismatch";
+  let program =
+    {
+      Network.init =
+        (fun _ v ->
+          {
+            bc_children = [];
+            bc_value =
+              (if part.parent.(v) = -1 then Some values.(part.cluster_of.(v))
+               else None);
+            bc_sent = false;
+          });
+      round =
+        (fun g ~round ~me st inbox ->
+          if round = 0 then begin
+            let out =
+              List.map
+                (fun (u, _) ->
+                  ( u,
+                    [|
+                      tag_hello;
+                      part.cluster_of.(me);
+                      (if part.parent.(me) = u then 1 else 0);
+                    |] ))
+                (Graph.neighbors g me)
+            in
+            { Network.state = st; out; halt = false }
+          end
+          else begin
+            let st =
+              if round = 1 then
+                {
+                  st with
+                  bc_children =
+                    List.filter_map
+                      (fun (s, p) ->
+                        if
+                          p.(0) = tag_hello && p.(2) = 1
+                          && p.(1) = part.cluster_of.(me)
+                        then Some s
+                        else None)
+                      inbox;
+                }
+              else st
+            in
+            let st =
+              List.fold_left
+                (fun st (_, p) ->
+                  if p.(0) = tag_down then { st with bc_value = Some p.(1) }
+                  else st)
+                st inbox
+            in
+            match st.bc_value with
+            | Some v when not st.bc_sent ->
+                let out =
+                  List.map (fun u -> (u, [| tag_down; v |])) st.bc_children
+                in
+                { Network.state = { st with bc_sent = true }; out; halt = true }
+            | _ -> { Network.state = st; out = []; halt = st.bc_sent }
+          end);
+    }
+  in
+  let states, stats = Network.run ~word_limit:4 g program in
+  ( Array.map
+      (fun st ->
+        match st.bc_value with
+        | Some v -> v
+        | None -> failwith "Cluster_programs: vertex missed the broadcast")
+      states,
+    stats )

@@ -1,0 +1,6 @@
+(** Short aliases for the substrate libraries (opened by every module of
+    this library). *)
+
+module Graph = Ultraspan_graph.Graph
+module Bfs = Ultraspan_graph.Bfs
+module Util = Ultraspan_util

@@ -1,0 +1,68 @@
+open! Import
+
+type inbox = (int * int array) list
+type outbox = (int * int array) list
+type 'a step = { state : 'a; out : outbox; halt : bool }
+
+type 'a program = {
+  init : Graph.t -> int -> 'a;
+  round : Graph.t -> round:int -> me:int -> 'a -> inbox -> 'a step;
+}
+
+type stats = { rounds : int; messages : int; max_words : int; wakeups : int }
+
+exception Message_too_large of { sender : int; words : int; limit : int }
+exception Not_a_neighbor of { sender : int; target : int }
+exception Round_limit_exceeded of int
+
+let run ?max_rounds ?(word_limit = 4) g prog =
+  let n = Graph.n g in
+  let max_rounds = match max_rounds with Some r -> r | None -> 100 * (n + 1) in
+  let states = Array.init n (fun v -> prog.init g v) in
+  let halted = Array.make n false in
+  (* pending.(v): messages to deliver to v next round, as (sender, payload),
+     accumulated in reverse. *)
+  let pending = Array.make n [] in
+  let has_pending = ref true (* round 0 runs everyone *) in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  let max_words = ref 0 in
+  let wakeups = ref 0 in
+  let all_halted () = Array.for_all (fun h -> h) halted in
+  while !has_pending || not (all_halted ()) do
+    if !rounds >= max_rounds then raise (Round_limit_exceeded max_rounds);
+    (* Collect this round's inboxes and clear pending. *)
+    let inboxes = Array.map (fun msgs -> List.sort compare (List.rev msgs)) pending in
+    Array.fill pending 0 n [];
+    has_pending := false;
+    for v = 0 to n - 1 do
+      let inbox = inboxes.(v) in
+      if (not halted.(v)) || inbox <> [] then begin
+        incr wakeups;
+        let step = prog.round g ~round:!rounds ~me:v states.(v) inbox in
+        states.(v) <- step.state;
+        halted.(v) <- step.halt;
+        (* Validate and enqueue outgoing messages. *)
+        let seen_targets = Hashtbl.create 8 in
+        List.iter
+          (fun (target, payload) ->
+            if not (Graph.mem_edge g v target) then
+              raise (Not_a_neighbor { sender = v; target });
+            if Hashtbl.mem seen_targets target then
+              raise (Not_a_neighbor { sender = v; target })
+              (* one message per neighbour per round *);
+            Hashtbl.replace seen_targets target ();
+            let words = Array.length payload in
+            if words > word_limit then
+              raise (Message_too_large { sender = v; words; limit = word_limit });
+            if words > !max_words then max_words := words;
+            incr messages;
+            pending.(target) <- (v, payload) :: pending.(target);
+            has_pending := true)
+          step.out
+      end
+    done;
+    incr rounds
+  done;
+  ( states,
+    { rounds = !rounds; messages = !messages; max_words = !max_words; wakeups = !wakeups } )

@@ -1,0 +1,56 @@
+open! Import
+
+(** Synchronous CONGEST-model network simulator.
+
+    The network is the input graph: one node per vertex, communication only
+    along edges, proceeding in synchronous rounds.  Per round every node may
+    send one bounded-size message to each neighbour (the CONGEST bandwidth
+    constraint); the simulator *enforces* the bound and records round and
+    message statistics.
+
+    Node behaviour is given as a {!program}: an initial state and a round
+    function mapping (state, inbox) to (state, outbox, halt?).  A halted
+    node is skipped until a message arrives, which wakes it.  The run ends
+    when every node is halted and no messages are in flight, or when
+    [max_rounds] is hit (an error by default, since every algorithm in this
+    library has a proven round bound). *)
+
+type inbox = (int * int array) list
+(** [(sender_vertex, payload)] for each message received this round,
+    in increasing sender order (deterministic). *)
+
+type outbox = (int * int array) list
+(** [(neighbour_vertex, payload)]: destinations must be neighbours; at most
+    one message per neighbour per round. *)
+
+type 'a step = { state : 'a; out : outbox; halt : bool }
+
+type 'a program = {
+  init : Graph.t -> int -> 'a;
+      (** Initial state of each vertex.  A node only knows [n], its own id
+          and its incident edges — programs honouring the model must not
+          inspect the rest of the graph (this is by convention; the full
+          graph is passed for convenience of address arithmetic). *)
+  round : Graph.t -> round:int -> me:int -> 'a -> inbox -> 'a step;
+}
+
+type stats = {
+  rounds : int;  (** rounds executed *)
+  messages : int;  (** total messages delivered *)
+  max_words : int;  (** largest message seen, in words *)
+  wakeups : int;  (** total node activations *)
+}
+
+exception Message_too_large of { sender : int; words : int; limit : int }
+exception Not_a_neighbor of { sender : int; target : int }
+exception Round_limit_exceeded of int
+
+val run :
+  ?max_rounds:int ->
+  ?word_limit:int ->
+  Graph.t ->
+  'a program ->
+  'a array * stats
+(** Execute to quiescence.  [word_limit] is the per-message size cap in
+    words of O(log n) bits (default 4: a constant number of ids/weights,
+    the usual CONGEST convention).  [max_rounds] defaults to [100 * (n+1)]. *)

@@ -1,0 +1,40 @@
+open! Import
+
+type t = {
+  mutable work : int;
+  mutable depth : int;
+  tbl : (string, int * int) Hashtbl.t;
+}
+
+let create () = { work = 0; depth = 0; tbl = Hashtbl.create 16 }
+
+let record t label w d =
+  let cw, cd = Option.value ~default:(0, 0) (Hashtbl.find_opt t.tbl label) in
+  Hashtbl.replace t.tbl label (cw + w, cd + d)
+
+let charge ?(label = "(other)") t ~work ~depth =
+  if work < 0 || depth < 0 then invalid_arg "Pram.charge: negative";
+  t.work <- t.work + work;
+  t.depth <- t.depth + depth;
+  record t label work depth
+
+let charge_parallel ?(label = "(parallel)") t branches =
+  let w = List.fold_left (fun a (bw, _) -> a + bw) 0 branches in
+  let d = List.fold_left (fun a (_, bd) -> max a bd) 0 branches in
+  charge t ~label ~work:w ~depth:d
+
+let work t = t.work
+
+let depth t = t.depth
+
+let breakdown t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] |> List.sort compare
+
+let merge_sequential dst src =
+  Hashtbl.iter (fun label (w, d) -> charge dst ~label ~work:w ~depth:d) src.tbl
+
+let pp fmt t =
+  Format.fprintf fmt "work=%d depth=%d" t.work t.depth;
+  List.iter
+    (fun (k, (w, d)) -> Format.fprintf fmt "@.  %-28s work=%-10d depth=%d" k w d)
+    (breakdown t)

@@ -1,0 +1,36 @@
+open! Import
+
+(** PRAM work/depth ledger.
+
+    Theorems 1.3, 1.7 and 1.8 come with PRAM variants: polylog(n) depth and
+    m·polylog(n) work.  This ledger is the work-depth analogue of
+    {!Rounds}: sequential composition adds both counters; parallel
+    composition adds work and takes the maximum depth.  The bench's T7
+    reports the ledgers the clustering pipeline would accrue, using the
+    paper's per-step costs (a clustering sweep costs O(m) work and O(D
+    log n) depth; a weight class runs in parallel with its siblings for
+    work purposes but the CONGEST variant serializes them — both
+    compositions are available). *)
+
+type t
+
+val create : unit -> t
+
+val charge : ?label:string -> t -> work:int -> depth:int -> unit
+(** Sequential composition: both counters accumulate. *)
+
+val charge_parallel : ?label:string -> t -> (int * int) list -> unit
+(** Parallel composition of (work, depth) branches: work adds, depth takes
+    the maximum. *)
+
+val work : t -> int
+
+val depth : t -> int
+
+val breakdown : t -> (string * (int * int)) list
+(** Per-label (work, depth) subtotals, sorted by label. *)
+
+val merge_sequential : t -> t -> unit
+(** [merge_sequential dst src]: run [src] after [dst]. *)
+
+val pp : Format.formatter -> t -> unit

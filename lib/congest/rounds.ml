@@ -1,0 +1,24 @@
+type t = { mutable total : int; tbl : (string, int) Hashtbl.t }
+
+let create () = { total = 0; tbl = Hashtbl.create 16 }
+
+let charge t ?(label = "(other)") r =
+  if r < 0 then invalid_arg "Rounds.charge: negative";
+  t.total <- t.total + r;
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.tbl label) in
+  Hashtbl.replace t.tbl label (cur + r)
+
+let charge_aggregate ?label t ~radius = charge t ?label ((2 * radius) + 2)
+
+let total t = t.total
+
+let breakdown t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort compare
+
+let merge_into dst src =
+  Hashtbl.iter (fun label r -> charge dst ~label r) src.tbl
+
+let pp fmt t =
+  Format.fprintf fmt "%d rounds" t.total;
+  List.iter (fun (k, v) -> Format.fprintf fmt "@.  %-28s %8d" k v) (breakdown t)

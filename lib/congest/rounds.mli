@@ -1,0 +1,32 @@
+(** CONGEST round accounting for centrally-simulated algorithms.
+
+    The heavyweight algorithms of the paper (derandomized Baswana–Sen, the
+    linear-size phases, the clustering growers) are simulated centrally in
+    this library, but every step of those algorithms has an explicit round
+    cost in the paper's analysis (an aggregation over a radius-r cluster
+    costs O(r), a pipelined count over a depth-d tree costs O(d + t), one
+    network-decomposition colour class costs its weak diameter, ...).  A
+    [Rounds.t] tallies those charges so the bench harness can report
+    simulated round complexities that follow the paper's accounting. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> ?label:string -> int -> unit
+(** Add the given number of rounds ([>= 0]) under an optional label. *)
+
+val charge_aggregate : ?label:string -> t -> radius:int -> unit
+(** Convergecast + broadcast over a tree of the given hop radius:
+    [2·radius + 2] rounds. *)
+
+val total : t -> int
+
+val breakdown : t -> (string * int) list
+(** Per-label subtotals, sorted by label; unlabeled charges appear under
+    ["(other)"]. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds all of [src]'s charges to [dst]. *)
+
+val pp : Format.formatter -> t -> unit

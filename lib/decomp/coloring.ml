@@ -1,0 +1,130 @@
+open! Import
+
+type result = { colors : int array; iterations : int }
+
+let log_star n =
+  let rec go x acc =
+    if x <= 1 then acc
+    else go (int_of_float (Float.log2 (float_of_int x))) (acc + 1)
+  in
+  go n 0
+
+(* Break pointer cycles: every cycle must have length exactly 2; root the
+   smaller endpoint.  Returns the parent array of the resulting forest. *)
+let to_forest ~n ~succ =
+  if Array.length succ <> n then invalid_arg "Coloring: succ length mismatch";
+  let parent = Array.copy succ in
+  Array.iteri
+    (fun v s ->
+      if s < -1 || s >= n then invalid_arg "Coloring: succ out of range";
+      if s = v then invalid_arg "Coloring: self-pointer")
+    succ;
+  (* Mutual pairs. *)
+  for v = 0 to n - 1 do
+    let s = succ.(v) in
+    if s >= 0 && succ.(s) = v && v < s then parent.(v) <- -1
+  done;
+  (* Any remaining cycle is a bug in the caller (see interface). *)
+  let state = Array.make n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  for v0 = 0 to n - 1 do
+    if state.(v0) = 0 then begin
+      let path = ref [] in
+      let v = ref v0 in
+      let continue = ref true in
+      while !continue do
+        if state.(!v) = 1 then
+          invalid_arg "Coloring.three_color: pointer cycle longer than 2"
+        else if state.(!v) = 2 then continue := false
+        else begin
+          state.(!v) <- 1;
+          path := !v :: !path;
+          let p = parent.(!v) in
+          if p = -1 then continue := false else v := p
+        end
+      done;
+      List.iter (fun u -> state.(u) <- 2) !path
+    end
+  done;
+  parent
+
+let lowest_differing_bit a b =
+  let x = a lxor b in
+  if x = 0 then invalid_arg "Coloring: equal colors on an edge";
+  let rec go i = if (x lsr i) land 1 = 1 then i else go (i + 1) in
+  go 0
+
+let cv_step parent colors =
+  Array.mapi
+    (fun v c ->
+      let p = parent.(v) in
+      if p = -1 then c land 1
+      else begin
+        let i = lowest_differing_bit c colors.(p) in
+        (2 * i) + ((c lsr i) land 1)
+      end)
+    colors
+
+let shift_down parent colors =
+  Array.mapi
+    (fun v c ->
+      let p = parent.(v) in
+      if p = -1 then if c = 0 then 1 else 0 else colors.(p))
+    colors
+
+let eliminate parent ~old_colors ~shifted c =
+  Array.mapi
+    (fun v col ->
+      if col <> c then col
+      else begin
+        (* Forbidden: parent's shifted colour; children's shifted colour,
+           which is this node's pre-shift colour. *)
+        let p = parent.(v) in
+        let forb1 = if p = -1 then -1 else shifted.(p) in
+        let forb2 = old_colors.(v) in
+        let rec pick x =
+          if x <> forb1 && x <> forb2 then x
+          else pick (x + 1)
+        in
+        let chosen = pick 0 in
+        assert (chosen <= 2);
+        chosen
+      end)
+    shifted
+
+module Steps = struct
+  let to_forest ~n ~succ = to_forest ~n ~succ
+
+  let cv_step ~parent colors = cv_step parent colors
+
+  let shift_down ~parent colors = shift_down parent colors
+
+  let eliminate ~parent ~old_colors ~shifted c =
+    eliminate parent ~old_colors ~shifted c
+end
+
+let three_color ~n ~succ =
+  let parent = to_forest ~n ~succ in
+  let colors = ref (Array.init n (fun v -> v)) in
+  let iterations = ref 0 in
+  let max_color () = Array.fold_left max 0 !colors in
+  while max_color () >= 6 do
+    colors := cv_step parent !colors;
+    incr iterations;
+    if !iterations > 64 then failwith "Coloring: CV did not converge"
+  done;
+  List.iter
+    (fun c ->
+      let old_colors = !colors in
+      let shifted = shift_down parent old_colors in
+      colors := eliminate parent ~old_colors ~shifted c)
+    [ 5; 4; 3 ];
+  { colors = !colors; iterations = !iterations }
+
+let is_proper ~n ~succ colors =
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    let s = succ.(v) in
+    if s >= 0 && colors.(v) = colors.(s) then ok := false
+  done;
+  !ok

@@ -1,0 +1,54 @@
+open! Import
+
+(** Cole–Vishkin / Linial colour reduction for pointer graphs.
+
+    Step (3) of the stretch-friendly clustering of Lemma 4.1 3-colours the
+    cluster graph restricted to the "minimum out-edge" orientation — a graph
+    of out-degree one — in O(log* n) rounds [Lin87].  This module implements
+    that reduction: iterated Cole–Vishkin bit tricks down to 6 colours, then
+    three shift-down/eliminate steps to 3 colours.
+
+    Precondition for {!three_color}: following [succ] pointers, every cycle
+    has length exactly 2 (mutual pairs).  This holds for minimum-out-edge
+    orientations under a total order on edges (weight, id): around any
+    pointer cycle the edge keys are non-increasing, hence all equal, hence
+    the cycle uses a single edge.  Mutual pairs are broken by rooting the
+    smaller endpoint, turning the pointer graph into a rooted forest. *)
+
+type result = {
+  colors : int array;  (** proper colouring with values in [{0,1,2}] *)
+  iterations : int;
+      (** Cole–Vishkin iterations used (the O(log* n) part); the constant
+          shift-down rounds are not included. *)
+}
+
+val three_color : n:int -> succ:int array -> result
+(** [three_color ~n ~succ] with [succ.(v)] the out-neighbour of [v]
+    ([-1] for no out-edge).  Returns a colouring proper on every edge
+    [{v, succ v}].  Raises [Invalid_argument] if a pointer cycle of length
+    > 2 exists. *)
+
+val is_proper : n:int -> succ:int array -> int array -> bool
+(** All pointer edges bichromatic. *)
+
+val log_star : int -> int
+(** Iterated logarithm (base 2), for the round-bound checks in tests. *)
+
+(** The individual reduction steps, exposed so that drivers which fetch the
+    successor's colour over the network (the distributed Lemma 4.1) can
+    apply exactly the same pure functions per step. *)
+module Steps : sig
+  val to_forest : n:int -> succ:int array -> int array
+  (** Break mutual pairs (root the smaller endpoint); rejects longer
+      cycles.  Returns the parent array. *)
+
+  val cv_step : parent:int array -> int array -> int array
+  (** One Cole–Vishkin bit-reduction step. *)
+
+  val shift_down : parent:int array -> int array -> int array
+
+  val eliminate :
+    parent:int array -> old_colors:int array -> shifted:int array -> int ->
+    int array
+  (** Recolour every vertex of the given colour into {0,1,2}. *)
+end

@@ -1,0 +1,11 @@
+(** Short aliases for the substrate libraries (opened by every module of
+    this library). *)
+
+module Graph = Ultraspan_graph.Graph
+module Bfs = Ultraspan_graph.Bfs
+module Dijkstra = Ultraspan_graph.Dijkstra
+module Partition = Ultraspan_graph.Partition
+module Contraction = Ultraspan_graph.Contraction
+module Connectivity = Ultraspan_graph.Connectivity
+module Rounds = Ultraspan_congest.Rounds
+module Util = Ultraspan_util

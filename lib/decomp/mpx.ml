@@ -1,0 +1,146 @@
+open! Import
+
+type t = {
+  cluster_of : int array;
+  center : int array;
+  shift : float array;
+}
+
+(* Multi-source Dijkstra on shifted distances: vertex u starts with key
+   -shift(u); keys propagate with +1 per hop; each vertex keeps the centre
+   of its minimum key (ties broken by centre id, deterministically for a
+   fixed rng). *)
+let decompose ~rng ~beta g =
+  if beta <= 0.0 || beta > 1.0 then invalid_arg "Mpx.decompose: beta in (0,1]";
+  let n = Graph.n g in
+  let shift =
+    Array.init n (fun _ ->
+        -.log (Float.max 1e-300 (Util.Rng.float rng 1.0)) /. beta)
+  in
+  let key = Array.make n Float.infinity in
+  let center_of = Array.make n (-1) in
+  let settled = Array.make n false in
+  let pq = Util.Pqueue.create ~cmp:compare () in
+  for u = 0 to n - 1 do
+    key.(u) <- -.shift.(u);
+    center_of.(u) <- u;
+    Util.Pqueue.push pq (key.(u), u) u
+  done;
+  while not (Util.Pqueue.is_empty pq) do
+    let (k, _), v = Util.Pqueue.pop_exn pq in
+    if not settled.(v) then begin
+      settled.(v) <- true;
+      Graph.iter_adj g v (fun u _ ->
+          if not settled.(u) then begin
+            let nk = k +. 1.0 in
+            if
+              nk < key.(u)
+              || (nk = key.(u) && center_of.(v) < center_of.(u))
+            then begin
+              key.(u) <- nk;
+              center_of.(u) <- center_of.(v);
+              Util.Pqueue.push pq (nk, center_of.(u)) u
+            end
+          end)
+    end
+  done;
+  (* compact cluster ids *)
+  let remap = Hashtbl.create 16 in
+  let centers = ref [] in
+  let next = ref 0 in
+  let cluster_of =
+    Array.map
+      (fun c ->
+        match Hashtbl.find_opt remap c with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.replace remap c id;
+            centers := c :: !centers;
+            id)
+      center_of
+  in
+  { cluster_of; center = Array.of_list (List.rev !centers); shift }
+
+let n_clusters t = Array.length t.center
+
+let cut_edges g t =
+  let cut = ref 0 in
+  Graph.iter_edges g (fun e ->
+      if t.cluster_of.(e.Graph.u) <> t.cluster_of.(e.Graph.v) then incr cut);
+  !cut
+
+let max_radius g t =
+  let worst = ref 0 in
+  Array.iteri
+    (fun cid c ->
+      let dist = Bfs.distances g c in
+      Array.iteri
+        (fun v cl -> if cl = cid && dist.(v) > !worst then worst := dist.(v))
+        t.cluster_of)
+    t.center;
+  !worst
+
+let validate g t =
+  let n = Graph.n g in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Array.length t.cluster_of <> n then err "length mismatch"
+  else if n = 0 then Ok ()
+  else if
+    Array.exists (fun c -> c < 0 || c >= n_clusters t) t.cluster_of
+  then err "not a partition"
+  else begin
+    (* connectivity of each cluster *)
+    let result = ref (Ok ()) in
+    Array.iteri
+      (fun cid c ->
+        if !result = Ok () then begin
+          (* BFS within the cluster from its centre *)
+          let seen = Array.make n false in
+          let q = Queue.create () in
+          if t.cluster_of.(c) <> cid then
+            result := err "centre %d not in its own cluster" cid
+          else begin
+            seen.(c) <- true;
+            Queue.add c q;
+            while not (Queue.is_empty q) do
+              let v = Queue.pop q in
+              Graph.iter_adj g v (fun u _ ->
+                  if t.cluster_of.(u) = cid && not seen.(u) then begin
+                    seen.(u) <- true;
+                    Queue.add u q
+                  end)
+            done;
+            Array.iteri
+              (fun v cl ->
+                if cl = cid && (not seen.(v)) && !result = Ok () then
+                  result := err "cluster %d disconnected at %d" cid v)
+              t.cluster_of
+          end
+        end)
+      t.center;
+    (* shifted-distance optimality against own shift: being in cluster c
+       means d(c,v) - shift(c) <= 0 - shift(v) is NOT required in general,
+       but v must prefer its centre to itself: key via centre <= -shift(v). *)
+    if !result = Ok () then begin
+      Array.iteri
+        (fun cid c ->
+          if !result = Ok () then begin
+            let dist = Bfs.distances g c in
+            Array.iteri
+              (fun v cl ->
+                if cl = cid && !result = Ok () then begin
+                  let key =
+                    float_of_int (max 0 dist.(v)) -. t.shift.(c)
+                  in
+                  if key > -.t.shift.(v) +. 1e-9 then
+                    result :=
+                      err "vertex %d would prefer its own cluster to %d" v cid
+                end)
+              t.cluster_of
+          end)
+        t.center
+    end;
+    !result
+  end

@@ -1,0 +1,34 @@
+open! Import
+
+(** Randomized low-diameter decomposition via exponential shifts
+    (Miller–Peng–Xu [MPVX15]).
+
+    Every vertex draws δ_u ~ Exp(β); vertex v joins the cluster of the
+    centre u maximizing δ_u − d(u, v).  The result is a partition into
+    clusters of strong radius O(log(n)/β) w.h.p. in which each edge is cut
+    with probability O(β).  This is the randomized engine behind the
+    Elkin–Neiman spanner and the low-diameter-clustering comparisons in
+    the bench; the paper's deterministic constructions exist precisely to
+    replace it. *)
+
+type t = {
+  cluster_of : int array;  (** vertex -> cluster id (a partition) *)
+  center : int array;  (** cluster id -> its centre vertex *)
+  shift : float array;  (** per-vertex exponential shift *)
+}
+
+val decompose : rng:Util.Rng.t -> beta:float -> Graph.t -> t
+(** Unweighted hop-distance version.  Requires [0 < beta <= 1]. *)
+
+val n_clusters : t -> int
+
+val cut_edges : Graph.t -> t -> int
+(** Number of inter-cluster edges. *)
+
+val max_radius : Graph.t -> t -> int
+(** Max hop distance from a vertex to its cluster centre (measured in G —
+    the clusters are in fact connected, so this is a strong radius). *)
+
+val validate : Graph.t -> t -> (unit, string) result
+(** Partition; every cluster connected; every vertex assigned to a centre
+    whose shifted distance is maximal. *)

@@ -1,0 +1,52 @@
+open! Import
+
+let greedy g ~alpha =
+  if alpha < 1 then invalid_arg "Ruling_set.greedy: alpha >= 1";
+  let n = Graph.n g in
+  (* blocked.(v): distance to the nearest chosen member, if < alpha. *)
+  let blocked = Array.make n max_int in
+  let members = ref [] in
+  for v = 0 to n - 1 do
+    if blocked.(v) >= alpha then begin
+      members := v :: !members;
+      (* BFS to depth alpha-1 updating blocked. *)
+      let q = Queue.create () in
+      blocked.(v) <- 0;
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        if blocked.(u) < alpha - 1 then
+          Graph.iter_adj g u (fun w _ ->
+              if blocked.(w) > blocked.(u) + 1 then begin
+                blocked.(w) <- blocked.(u) + 1;
+                Queue.add w q
+              end)
+      done
+    end
+  done;
+  List.rev !members
+
+let is_ruling g ~alpha ~beta members =
+  match members with
+  | [] -> Graph.n g = 0
+  | _ ->
+      let dist, _ = Bfs.multi_source g members in
+      let packing =
+        (* pairwise distance >= alpha: BFS from each member must not reach
+           another member within alpha-1. *)
+        List.for_all
+          (fun v ->
+            let d = Bfs.distances g v in
+            List.for_all
+              (fun u -> u = v || d.(u) = -1 || d.(u) >= alpha)
+              members)
+          members
+      in
+      let covering =
+        (* within each component containing a member, everyone within beta;
+           components without members must not exist unless they are
+           memberless AND the set restricted there is empty: greedy always
+           places a member per component, so require global coverage. *)
+        Array.for_all (fun d -> d >= 0 && d <= beta) dist
+      in
+      packing && covering

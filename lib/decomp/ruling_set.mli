@@ -1,0 +1,18 @@
+open! Import
+
+(** (α, β)-ruling sets.
+
+    A set R is (α, β)-ruling if members of R are pairwise at hop distance
+    >= α and every vertex is within β hops of some member.  Used by
+    distributed clustering constructions as a seed set; included here as a
+    substrate primitive with its invariants tested. *)
+
+val greedy : Graph.t -> alpha:int -> int list
+(** Deterministic greedy (α, α-1)-ruling set: sweep vertices in id order,
+    add a vertex when no earlier member is within α-1 hops.  Every vertex
+    is within α-1 hops of the set (on connected graphs; on general graphs,
+    within its own component). *)
+
+val is_ruling : Graph.t -> alpha:int -> beta:int -> int list -> bool
+(** Check both the packing (pairwise >= α) and covering (everyone within β,
+    per component) conditions. *)

@@ -1,0 +1,210 @@
+open! Import
+
+type cluster = {
+  center : int;
+  members : int list;
+  radius : int;
+  tree_eids : int list;
+  tree_vertices : int list;
+}
+
+type t = { clusters : cluster array; cluster_of : int array }
+
+(* BFS in the subgraph induced by [active], from [center]. *)
+let bfs_active g ~active ~center =
+  let n = Graph.n g in
+  let d = Array.make n (-1) in
+  let parent_eid = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let q = Queue.create () in
+  d.(center) <- 0;
+  Queue.add center q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Graph.iter_adj g v (fun u eid ->
+        if active.(u) && d.(u) = -1 then begin
+          d.(u) <- d.(v) + 1;
+          parent.(u) <- v;
+          parent_eid.(u) <- eid;
+          Queue.add u q
+        end)
+  done;
+  (d, parent, parent_eid)
+
+let make ?active ~separation g =
+  if separation < 1 then invalid_arg "Separated_clustering: separation >= 1";
+  let n = Graph.n g in
+  let active =
+    match active with
+    | None -> Array.make n true
+    | Some a ->
+        if Array.length a <> n then
+          invalid_arg "Separated_clustering: active length mismatch";
+        a
+  in
+  let margin = separation - 1 in
+  let cluster_of = Array.make n (-1) in
+  let deferred = Array.make n false in
+  let clusters = ref [] in
+  let n_clusters = ref 0 in
+  let eligible u = active.(u) && cluster_of.(u) = -1 && not deferred.(u) in
+  for v = 0 to n - 1 do
+    if eligible v then begin
+      let d, parent, parent_eid = bfs_active g ~active ~center:v in
+      (* Eligible population per BFS layer. *)
+      let maxd = Array.fold_left max 0 d in
+      let layer = Array.make (maxd + 2 + margin) 0 in
+      Array.iteri
+        (fun u du -> if du >= 0 && eligible u then layer.(du) <- layer.(du) + 1)
+        d;
+      let prefix = Array.make (Array.length layer + 1) 0 in
+      Array.iteri (fun i c -> prefix.(i + 1) <- prefix.(i) + c) layer;
+      let count r = prefix.(min (r + 1) (Array.length prefix - 1)) in
+      let rec find r =
+        if count (r + margin) <= 2 * count r then r else find (r + 1)
+      in
+      let r = find 0 in
+      let cid = !n_clusters in
+      incr n_clusters;
+      let members = ref [] in
+      Array.iteri
+        (fun u du ->
+          if du >= 0 && eligible u then
+            if du <= r then begin
+              members := u :: !members;
+              cluster_of.(u) <- cid
+            end
+            else if du <= r + margin then deferred.(u) <- true)
+        d;
+      (* Steiner tree: union of BFS paths from members to the center. *)
+      let tree_eids = ref [] in
+      let in_tree = Array.make n false in
+      let tree_vertices = ref [] in
+      let rec mark u =
+        if not in_tree.(u) then begin
+          in_tree.(u) <- true;
+          tree_vertices := u :: !tree_vertices;
+          if u <> v then begin
+            tree_eids := parent_eid.(u) :: !tree_eids;
+            mark parent.(u)
+          end
+        end
+      in
+      List.iter mark !members;
+      clusters :=
+        {
+          center = v;
+          members = !members;
+          radius = r;
+          tree_eids = !tree_eids;
+          tree_vertices = !tree_vertices;
+        }
+        :: !clusters
+    end
+  done;
+  { clusters = Array.of_list (List.rev !clusters); cluster_of }
+
+let covered t = Array.fold_left (fun a c -> if c >= 0 then a + 1 else a) 0 t.cluster_of
+
+let overlap g t =
+  let xi = Array.make (Graph.n g) 0 in
+  Array.iter
+    (fun c -> List.iter (fun v -> xi.(v) <- xi.(v) + 1) c.tree_vertices)
+    t.clusters;
+  xi
+
+let avg_overlap g t =
+  let total =
+    Array.fold_left (fun a c -> a + List.length c.tree_vertices) 0 t.clusters
+  in
+  let n' = Graph.n g in
+  if n' = 0 then 0.0 else float_of_int total /. float_of_int n'
+
+let validate ?active ~separation g t =
+  let n = Graph.n g in
+  let active =
+    match active with None -> Array.make n true | Some a -> a
+  in
+  let n_active = Array.fold_left (fun a b -> if b then a + 1 else a) 0 active in
+  let result = ref (Ok ()) in
+  let check cond fmt =
+    Printf.ksprintf
+      (fun s -> if (not cond) && !result = Ok () then result := Error s)
+      fmt
+  in
+  (* Disjointness + membership consistency. *)
+  let seen = Array.make n false in
+  Array.iteri
+    (fun cid c ->
+      List.iter
+        (fun v ->
+          check (not seen.(v)) "vertex %d in two clusters" v;
+          seen.(v) <- true;
+          check active.(v) "inactive vertex %d clustered" v;
+          check (t.cluster_of.(v) = cid) "cluster_of mismatch at %d" v)
+        c.members)
+    t.clusters;
+  Array.iteri
+    (fun v c -> check (c = -1 || seen.(v)) "cluster_of set but not member: %d" v)
+    t.cluster_of;
+  (* Coverage. *)
+  check (2 * covered t >= n_active) "coverage below half (%d of %d)" (covered t)
+    n_active;
+  (* Radius + separation via BFS in G[active]. *)
+  Array.iteri
+    (fun cid c ->
+      if !result = Ok () then begin
+        let d, _, _ = bfs_active g ~active ~center:c.center in
+        List.iter
+          (fun v ->
+            check
+              (d.(v) >= 0 && d.(v) <= c.radius)
+              "member %d of cluster %d outside radius" v cid)
+          c.members;
+        (* Separation: no other cluster's member within separation-1 of a
+           member of this cluster.  Multi-source BFS from members. *)
+        let dist = Array.make n (-1) in
+        let q = Queue.create () in
+        List.iter
+          (fun v ->
+            dist.(v) <- 0;
+            Queue.add v q)
+          c.members;
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          if dist.(v) < separation - 1 then
+            Graph.iter_adj g v (fun u _ ->
+                if active.(u) && dist.(u) = -1 then begin
+                  dist.(u) <- dist.(v) + 1;
+                  Queue.add u q
+                end)
+        done;
+        Array.iteri
+          (fun v dv ->
+            if dv >= 0 && dv < separation then begin
+              let cv = t.cluster_of.(v) in
+              check (cv = -1 || cv = cid) "clusters %d and %d too close" cid cv
+            end)
+          dist
+      end)
+    t.clusters;
+  (* Steiner trees: forest edges within active, containing members. *)
+  Array.iteri
+    (fun cid c ->
+      let uf = Util.Union_find.create n in
+      List.iter
+        (fun eid ->
+          let a, b = Graph.endpoints g eid in
+          check (active.(a) && active.(b)) "tree of %d leaves active set" cid;
+          check
+            (Util.Union_find.union uf a b)
+            "tree of %d has a cycle" cid)
+        c.tree_eids;
+      List.iter
+        (fun v ->
+          check
+            (Util.Union_find.same uf v c.center || v = c.center)
+            "member %d not connected to center in tree of %d" v cid)
+        c.members)
+    t.clusters;
+  !result

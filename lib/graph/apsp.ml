@@ -1,0 +1,59 @@
+let floyd_warshall g =
+  let n = Graph.n g in
+  let inf = Dijkstra.infinity in
+  let d = Array.make_matrix n n inf in
+  for v = 0 to n - 1 do
+    d.(v).(v) <- 0
+  done;
+  Graph.iter_edges g (fun e ->
+      if e.Graph.w < d.(e.Graph.u).(e.Graph.v) then begin
+        d.(e.Graph.u).(e.Graph.v) <- e.Graph.w;
+        d.(e.Graph.v).(e.Graph.u) <- e.Graph.w
+      end);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if d.(i).(k) < inf then
+        for j = 0 to n - 1 do
+          if d.(k).(j) < inf && d.(i).(k) + d.(k).(j) < d.(i).(j) then
+            d.(i).(j) <- d.(i).(k) + d.(k).(j)
+        done
+    done
+  done;
+  d
+
+let by_dijkstra ?allow g =
+  Array.init (Graph.n g) (fun v -> Dijkstra.distances ?allow g v)
+
+let exact_pair_stretch g keep =
+  let n = Graph.n g in
+  let dg = by_dijkstra g in
+  let dh = by_dijkstra ~allow:(fun eid -> keep.(eid)) g in
+  let worst = ref 1.0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if dg.(u).(v) < Dijkstra.infinity && dg.(u).(v) > 0 then begin
+        let s =
+          if dh.(u).(v) = Dijkstra.infinity then Float.infinity
+          else float_of_int dh.(u).(v) /. float_of_int dg.(u).(v)
+        in
+        if s > !worst then worst := s
+      end
+    done
+  done;
+  if n < 2 then 1.0 else !worst
+
+let diameter g =
+  let n = Graph.n g in
+  if n < 2 then 0
+  else begin
+    let worst = ref 0 in
+    for v = 0 to n - 1 do
+      let d = Dijkstra.distances g v in
+      Array.iter
+        (fun x ->
+          if x = Dijkstra.infinity then worst := Dijkstra.infinity
+          else if !worst < Dijkstra.infinity && x > !worst then worst := x)
+        d
+    done;
+    !worst
+  end

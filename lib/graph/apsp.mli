@@ -1,0 +1,22 @@
+(** All-pairs shortest paths.
+
+    Small-graph oracles used by the test-suite to validate the single-source
+    routines and the edge-based stretch computation against an independent
+    implementation.  Distances use {!Dijkstra.infinity} for unreachable
+    pairs. *)
+
+val floyd_warshall : Graph.t -> int array array
+(** O(n³), O(n²) memory — for n in the hundreds. *)
+
+val by_dijkstra : ?allow:(int -> bool) -> Graph.t -> int array array
+(** One restricted Dijkstra per vertex. *)
+
+val exact_pair_stretch : Graph.t -> bool array -> float
+(** The true pairwise stretch max over u,v of d_H(u,v)/d_G(u,v) via two
+    APSP computations.  The edge-based {!Stretch.max_edge_stretch} is an
+    upper bound on this; the tests check the sandwich
+    [exact <= edge-based]. *)
+
+val diameter : Graph.t -> int
+(** Weighted diameter; [Dijkstra.infinity] when disconnected, 0 for
+    graphs with < 2 vertices. *)

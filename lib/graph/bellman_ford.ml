@@ -1,0 +1,22 @@
+let distances g s =
+  let n = Graph.n g in
+  if s < 0 || s >= n then invalid_arg "Bellman_ford: source out of range";
+  let dist = Array.make n Dijkstra.infinity in
+  dist.(s) <- 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n do
+    changed := false;
+    incr rounds;
+    Graph.iter_edges g (fun e ->
+        let relax a b =
+          if dist.(a) < Dijkstra.infinity && dist.(a) + e.Graph.w < dist.(b)
+          then begin
+            dist.(b) <- dist.(a) + e.Graph.w;
+            changed := true
+          end
+        in
+        relax e.Graph.u e.Graph.v;
+        relax e.Graph.v e.Graph.u)
+  done;
+  dist

@@ -1,0 +1,7 @@
+(** Textbook Bellman–Ford, used as the independent oracle for Dijkstra in
+    the property tests (weights in this library are non-negative, so both
+    must agree exactly). *)
+
+val distances : Graph.t -> int -> int array
+(** Weighted distances from the source; [Dijkstra.infinity] when
+    unreachable.  O(n·m). *)

@@ -1,0 +1,59 @@
+let all_edges _ = true
+
+let run ?(allow = all_edges) g sources =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent_eid = Array.make n (-1) in
+  let source_of = Array.make n (-1) in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Bfs: source out of range";
+      if dist.(s) = -1 then begin
+        dist.(s) <- 0;
+        source_of.(s) <- s;
+        Queue.add s q
+      end)
+    sources;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Graph.iter_adj g v (fun u eid ->
+        if allow eid && dist.(u) = -1 then begin
+          dist.(u) <- dist.(v) + 1;
+          parent_eid.(u) <- eid;
+          source_of.(u) <- source_of.(v);
+          Queue.add u q
+        end)
+  done;
+  (dist, parent_eid, source_of)
+
+let distances ?allow g s =
+  let dist, _, _ = run ?allow g [ s ] in
+  dist
+
+let tree ?allow g s =
+  let dist, parent_eid, _ = run ?allow g [ s ] in
+  (dist, parent_eid)
+
+let multi_source ?allow g sources =
+  let dist, _, source_of = run ?allow g sources in
+  (dist, source_of)
+
+let eccentricity g v =
+  let dist = distances g v in
+  Array.fold_left max 0 dist
+
+let diameter_hops g =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else begin
+    let best = ref 0 in
+    let disconnected = ref false in
+    for v = 0 to n - 1 do
+      let dist = distances g v in
+      Array.iter
+        (fun d -> if d = -1 then disconnected := true else if d > !best then best := d)
+        dist
+    done;
+    if !disconnected then -1 else !best
+  end

@@ -1,0 +1,29 @@
+(** Breadth-first search over hop distances (edge weights ignored).
+
+    Hop distances are what the CONGEST round analyses, cluster radii and
+    r-clusterings of the paper are measured in, so BFS is kept separate from
+    the weighted shortest-path routines. *)
+
+val distances : ?allow:(int -> bool) -> Graph.t -> int -> int array
+(** [distances g s] is the hop distance from [s] to every vertex, [-1] when
+    unreachable.  [allow eid] restricts traversal to a subset of edges
+    (default: all). *)
+
+val tree : ?allow:(int -> bool) -> Graph.t -> int -> int array * int array
+(** [tree g s] is [(dist, parent_eid)]: for each reached vertex other than
+    [s], the id of the tree edge toward the root; [-1] for [s] and for
+    unreachable vertices. *)
+
+val multi_source : ?allow:(int -> bool) -> Graph.t -> int list ->
+  int array * int array
+(** [multi_source g sources] is [(dist, source_of)]: hop distance to the
+    nearest source and which source claimed each vertex ([-1] when
+    unreachable).  Ties are broken toward the source reached first in the
+    deterministic queue order. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Largest finite hop distance from the vertex. *)
+
+val diameter_hops : Graph.t -> int
+(** Exact hop diameter (max over vertices of eccentricity); [-1] if the
+    graph is disconnected.  O(n·m) — intended for tests and small graphs. *)

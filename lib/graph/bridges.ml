@@ -1,0 +1,64 @@
+(* Iterative Tarjan: DFS with explicit stack, low-link values; an edge
+   (parent -> child) is a bridge iff low(child) > disc(parent). *)
+
+let bridges g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let parent_edge = Array.make n (-1) in
+  let timer = ref 0 in
+  let out = ref [] in
+  (* Explicit DFS stack of (vertex, adjacency cursor).  We materialize the
+     adjacency as arrays once to allow cursor-based iteration. *)
+  let adj = Array.make n [||] in
+  for v = 0 to n - 1 do
+    adj.(v) <- Array.of_list (Graph.neighbors g v)
+  done;
+  let cursor = Array.make n 0 in
+  for root = 0 to n - 1 do
+    if disc.(root) = -1 then begin
+      let stack = ref [ root ] in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+            if cursor.(v) < Array.length adj.(v) then begin
+              let u, eid = adj.(v).(cursor.(v)) in
+              cursor.(v) <- cursor.(v) + 1;
+              if eid <> parent_edge.(v) then begin
+                if disc.(u) = -1 then begin
+                  disc.(u) <- !timer;
+                  low.(u) <- !timer;
+                  incr timer;
+                  parent_edge.(u) <- eid;
+                  stack := u :: !stack
+                end
+                else if disc.(u) < low.(v) then low.(v) <- disc.(u)
+              end
+            end
+            else begin
+              (* retire v; propagate low to its parent *)
+              stack := rest;
+              match rest with
+              | p :: _ ->
+                  if low.(v) < low.(p) then low.(p) <- low.(v);
+                  if low.(v) > disc.(p) then out := parent_edge.(v) :: !out
+              | [] -> ()
+            end
+      done
+    end
+  done;
+  List.rev !out
+
+let is_2_edge_connected g =
+  Graph.n g >= 2 && Connectivity.is_connected g && bridges g = []
+
+let two_edge_components g =
+  let bridge = Array.make (Graph.m g) false in
+  List.iter (fun e -> bridge.(e) <- true) (bridges g);
+  let keep = Array.map not bridge in
+  let sub = Graph.sub_by_eids g keep in
+  Connectivity.components sub

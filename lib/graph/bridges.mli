@@ -1,0 +1,16 @@
+(** Bridges and 2-edge-connected components (Tarjan low-link).
+
+    A bridge is an edge whose removal disconnects its component — exactly
+    the obstruction to 2-edge-connectivity.  Used as a fast oracle for the
+    k = 2 certificate tests ([is_2_edge_connected] is linear-time, against
+    the max-flow based λ computation). *)
+
+val bridges : Graph.t -> int list
+(** Edge ids of all bridges. *)
+
+val is_2_edge_connected : Graph.t -> bool
+(** Connected and bridgeless (requires n >= 2). *)
+
+val two_edge_components : Graph.t -> int array * int
+(** [(comp, count)]: label per vertex of its 2-edge-connected component
+    (bridges are the only edges between different labels). *)

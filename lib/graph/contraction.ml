@@ -1,0 +1,56 @@
+type t = {
+  base : Graph.t;
+  quotient : Graph.t;
+  cluster_of : int array;
+  repr_eid : int array;
+}
+
+let of_cluster_of ?(allow = fun _ -> true) g cluster_of count =
+  if Array.length cluster_of <> Graph.n g then
+    invalid_arg "Contraction.of_cluster_of: length mismatch";
+  Array.iter
+    (fun c ->
+      if c < -1 || c >= count then
+        invalid_arg "Contraction.of_cluster_of: cluster id out of range")
+    cluster_of;
+  (* Best (weight, base eid) per unordered cluster pair, via a hash table
+     keyed by (min, max). *)
+  let best : (int * int, int * int) Hashtbl.t = Hashtbl.create 97 in
+  Graph.iter_edges g (fun e ->
+      let cu = cluster_of.(e.Graph.u) and cv = cluster_of.(e.Graph.v) in
+      if allow e.Graph.id && cu >= 0 && cv >= 0 && cu <> cv then begin
+        let key = if cu < cv then (cu, cv) else (cv, cu) in
+        match Hashtbl.find_opt best key with
+        | Some (w, eid) when (w, eid) <= (e.Graph.w, e.Graph.id) -> ()
+        | _ -> Hashtbl.replace best key (e.Graph.w, e.Graph.id)
+      end);
+  let triples = ref [] in
+  let reprs = ref [] in
+  Hashtbl.iter
+    (fun (cu, cv) (w, eid) ->
+      triples := (cu, cv, w, eid) :: !triples;
+      ignore reprs)
+    best;
+  (* Sort for determinism (hash table iteration order is unspecified). *)
+  let sorted = List.sort compare !triples in
+  let quotient =
+    Graph.of_edges ~n:count (List.map (fun (u, v, w, _) -> (u, v, w)) sorted)
+  in
+  (* Graph.of_edges sorts canonical triples the same way, and there are no
+     duplicates, so edge id i corresponds to element i of [sorted]. *)
+  let repr_eid = Array.of_list (List.map (fun (_, _, _, eid) -> eid) sorted) in
+  (* Sanity: endpoints must line up. *)
+  Array.iteri
+    (fun qid base_eid ->
+      let qu, qv = Graph.endpoints quotient qid in
+      let bu, bv = Graph.endpoints g base_eid in
+      let cu = cluster_of.(bu) and cv = cluster_of.(bv) in
+      assert ((qu = cu && qv = cv) || (qu = cv && qv = cu)))
+    repr_eid;
+  { base = g; quotient; cluster_of = Array.copy cluster_of; repr_eid }
+
+let make g (p : Partition.t) = of_cluster_of g p.Partition.cluster_of (Partition.count p)
+
+let pull_back t qids = List.map (fun qid -> t.repr_eid.(qid)) qids
+
+let push_vertex t v = t.cluster_of.(v)

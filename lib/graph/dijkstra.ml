@@ -1,0 +1,43 @@
+let infinity = max_int
+
+let all_edges _ = true
+
+let run ?(allow = all_edges) ?(stop_at = -1) g s =
+  let n = Graph.n g in
+  if s < 0 || s >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let parent_eid = Array.make n (-1) in
+  let settled = Ultraspan_util.Bitset.create n in
+  let pq = Ultraspan_util.Pqueue.create ~cmp:compare () in
+  dist.(s) <- 0;
+  Ultraspan_util.Pqueue.push pq 0 s;
+  let finished = ref false in
+  while (not !finished) && not (Ultraspan_util.Pqueue.is_empty pq) do
+    let d, v = Ultraspan_util.Pqueue.pop_exn pq in
+    if not (Ultraspan_util.Bitset.mem settled v) then begin
+      Ultraspan_util.Bitset.add settled v;
+      if v = stop_at then finished := true
+      else
+        Graph.iter_adj g v (fun u eid ->
+            if allow eid then begin
+              let nd = d + Graph.weight g eid in
+              if nd < dist.(u) then begin
+                dist.(u) <- nd;
+                parent_eid.(u) <- eid;
+                Ultraspan_util.Pqueue.push pq nd u
+              end
+            end)
+    end
+  done;
+  (dist, parent_eid)
+
+let distances ?allow g s =
+  let dist, _ = run ?allow g s in
+  dist
+
+let tree ?allow g s = run ?allow g s
+
+let distance ?allow g s t =
+  if t < 0 || t >= Graph.n g then invalid_arg "Dijkstra: target out of range";
+  let dist, _ = run ?allow ~stop_at:t g s in
+  dist.(t)

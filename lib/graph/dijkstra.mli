@@ -1,0 +1,20 @@
+(** Weighted single-source shortest paths.
+
+    The stretch checks of the test-suite and bench harness run Dijkstra from
+    every vertex of a *spanner* (given as an edge mask of the original
+    graph), so the traversal supports edge restriction without materializing
+    the subgraph. *)
+
+val infinity : int
+(** Distance value for unreachable vertices ([max_int]). *)
+
+val distances : ?allow:(int -> bool) -> Graph.t -> int -> int array
+(** [distances g s] is weighted distance from [s]; {!infinity} when
+    unreachable.  [allow eid] restricts traversal to a subset of edges. *)
+
+val tree : ?allow:(int -> bool) -> Graph.t -> int -> int array * int array
+(** [(dist, parent_eid)]: shortest-path tree edges; [-1] at the root and for
+    unreachable vertices. *)
+
+val distance : ?allow:(int -> bool) -> Graph.t -> int -> int -> int
+(** Point-to-point distance with early exit at the target. *)

@@ -1,0 +1,287 @@
+module Rng = Ultraspan_util.Rng
+
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1, 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  Graph.of_edges ~n ((n - 1, 0, 1) :: List.init (n - 1) (fun i -> (i, i + 1, 1)))
+
+let complete n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := (u, v, 1) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star: need n >= 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1, 1)))
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let idx r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then acc := (idx r c, idx r (c + 1), 1) :: !acc;
+      if r + 1 < rows then acc := (idx r c, idx (r + 1) c, 1) :: !acc
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !acc
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus: dims >= 3";
+  let idx r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      acc := (idx r c, idx r ((c + 1) mod cols), 1) :: !acc;
+      acc := (idx r c, idx ((r + 1) mod rows) c, 1) :: !acc
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !acc
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Generators.hypercube";
+  let n = 1 lsl d in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let u = v lxor (1 lsl b) in
+      if u > v then acc := (v, u, 1) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let binary_tree n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i + 1, i / 2, 1)))
+
+let caterpillar spine legs =
+  if spine < 1 || legs < 0 then invalid_arg "Generators.caterpillar";
+  let n = spine * (1 + legs) in
+  let acc = ref [] in
+  for s = 0 to spine - 2 do
+    acc := (s, s + 1, 1) :: !acc
+  done;
+  for s = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      acc := (s, spine + (s * legs) + l, 1) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let circulant n offsets =
+  if n < 2 then invalid_arg "Generators.circulant";
+  let acc = ref [] in
+  List.iter
+    (fun o ->
+      if o <= 0 || o >= n then invalid_arg "Generators.circulant: bad offset";
+      for v = 0 to n - 1 do
+        let u = (v + o) mod n in
+        if u <> v then acc := (v, u, 1) :: !acc
+      done)
+    offsets;
+  Graph.of_edges ~n !acc
+
+let harary ~k ~n =
+  if k < 1 || k >= n then invalid_arg "Generators.harary: need 1 <= k < n";
+  let half = k / 2 in
+  let offsets = List.init half (fun i -> i + 1) in
+  let acc = ref [] in
+  List.iter
+    (fun o ->
+      for v = 0 to n - 1 do
+        acc := (v, (v + o) mod n, 1) :: !acc
+      done)
+    offsets;
+  if k mod 2 = 1 then
+    if n mod 2 = 0 then
+      for v = 0 to (n / 2) - 1 do
+        acc := (v, v + (n / 2), 1) :: !acc
+      done
+    else begin
+      (* Odd k, odd n: the classic construction joins i to i + (n-1)/2 and
+         i to i + (n+1)/2 for i = 0, yielding ceil(kn/2) edges. *)
+      for v = 0 to (n - 1) / 2 do
+        acc := (v, v + ((n - 1) / 2), 1) :: !acc
+      done;
+      acc := (0, (n + 1) / 2, 1) :: !acc
+    end;
+  Graph.of_edges
+    ~n
+    (List.filter (fun (u, v, _) -> u <> v) !acc)
+
+let gnp ~rng ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Generators.gnp: p out of range";
+  let acc = ref [] in
+  (* Geometric skipping for sparse p keeps this O(m) instead of O(n^2). *)
+  if p >= 1.0 then
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        acc := (u, v, 1) :: !acc
+      done
+    done
+  else if p > 0.0 then begin
+    let log1mp = log (1.0 -. p) in
+    let total = n * (n - 1) / 2 in
+    let pos = ref (-1) in
+    let decode i =
+      (* i-th pair in lexicographic (u,v) order, u < v. *)
+      let u = ref 0 and rem = ref i in
+      while !rem >= n - 1 - !u do
+        rem := !rem - (n - 1 - !u);
+        incr u
+      done;
+      (!u, !u + 1 + !rem)
+    in
+    let continue = ref true in
+    while !continue do
+      let r = Rng.float rng 1.0 in
+      let r = if r <= 0.0 then 1e-18 else r in
+      let skip = int_of_float (floor (log r /. log1mp)) in
+      pos := !pos + 1 + skip;
+      if !pos >= total then continue := false
+      else begin
+        let u, v = decode !pos in
+        acc := (u, v, 1) :: !acc
+      end
+    done
+  end;
+  Graph.of_edges ~n !acc
+
+let gnm ~rng ~n ~m =
+  let total = n * (n - 1) / 2 in
+  if m < 0 || m > total then invalid_arg "Generators.gnm: m out of range";
+  let chosen = Hashtbl.create (2 * m) in
+  while Hashtbl.length chosen < m do
+    let u = Rng.int rng n in
+    let v = Rng.int rng n in
+    if u <> v then begin
+      let key = if u < v then (u, v) else (v, u) in
+      if not (Hashtbl.mem chosen key) then Hashtbl.replace chosen key ()
+    end
+  done;
+  let acc = Hashtbl.fold (fun (u, v) () l -> (u, v, 1) :: l) chosen [] in
+  Graph.of_edges ~n acc
+
+let random_geometric ~rng ~n ~radius =
+  let xs = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      if d <= radius then begin
+        let w = max 1 (int_of_float (d /. radius *. 1000.0)) in
+        acc := (u, v, w) :: !acc
+      end
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let preferential_attachment ~rng ~n ~degree =
+  if degree < 1 then invalid_arg "Generators.preferential_attachment";
+  if n <= degree then invalid_arg "Generators.preferential_attachment: n too small";
+  (* endpoint pool: each edge contributes both endpoints, so sampling from
+     the pool is degree-proportional. *)
+  let pool = ref [] in
+  let acc = ref [] in
+  (* seed: clique on degree+1 vertices *)
+  for u = 0 to degree do
+    for v = u + 1 to degree do
+      acc := (u, v, 1) :: !acc;
+      pool := u :: v :: !pool
+    done
+  done;
+  let pool_arr = ref (Array.of_list !pool) in
+  for v = degree + 1 to n - 1 do
+    let targets = Hashtbl.create degree in
+    let attempts = ref 0 in
+    while Hashtbl.length targets < degree && !attempts < 50 * degree do
+      incr attempts;
+      let t = Rng.choose rng !pool_arr in
+      if t <> v then Hashtbl.replace targets t ()
+    done;
+    let new_pool = ref [] in
+    Hashtbl.iter
+      (fun t () ->
+        acc := (v, t, 1) :: !acc;
+        new_pool := v :: t :: !new_pool)
+      targets;
+    pool_arr := Array.append !pool_arr (Array.of_list !new_pool)
+  done;
+  Graph.of_edges ~n !acc
+
+let random_regular ~rng ~n ~d =
+  if d < 1 || d >= n then invalid_arg "Generators.random_regular: 1 <= d < n";
+  if n * d mod 2 <> 0 then
+    invalid_arg "Generators.random_regular: n*d must be even";
+  (* Configuration model: shuffle the multiset of d copies of each vertex
+     and pair consecutive stubs, dropping self-loops and duplicates. *)
+  let stubs = Array.concat (List.init n (fun v -> Array.make d v)) in
+  Rng.shuffle rng stubs;
+  let acc = ref [] in
+  let seen = Hashtbl.create (n * d) in
+  let half = Array.length stubs / 2 in
+  for i = 0 to half - 1 do
+    let u = stubs.(2 * i) and v = stubs.((2 * i) + 1) in
+    if u <> v then begin
+      let key = if u < v then (u, v) else (v, u) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        acc := (u, v, 1) :: !acc
+      end
+    end
+  done;
+  Graph.of_edges ~n !acc
+
+let lollipop clique_n path_n =
+  if clique_n < 1 || path_n < 0 then invalid_arg "Generators.lollipop";
+  let n = clique_n + path_n in
+  let acc = ref [] in
+  for u = 0 to clique_n - 1 do
+    for v = u + 1 to clique_n - 1 do
+      acc := (u, v, 1) :: !acc
+    done
+  done;
+  for i = 0 to path_n - 1 do
+    let prev = if i = 0 then clique_n - 1 else clique_n + i - 1 in
+    acc := (prev, clique_n + i, 1) :: !acc
+  done;
+  Graph.of_edges ~n !acc
+
+let randomize_weights ~rng ~lo ~hi g =
+  if lo < 0 || hi < lo then invalid_arg "Generators.randomize_weights";
+  Graph.with_weights g (fun _ -> Rng.int_in rng lo hi)
+
+let ensure_connected ~rng g =
+  let comp, count = Connectivity.components g in
+  if count <= 1 then g
+  else begin
+    (* one representative per component; link them in a random chain *)
+    let reps = Array.make count (-1) in
+    Array.iteri (fun v c -> if reps.(c) = -1 then reps.(c) <- v) comp;
+    Rng.shuffle rng reps;
+    let extra = ref [] in
+    for i = 0 to count - 2 do
+      extra := (reps.(i), reps.(i + 1), 1) :: !extra
+    done;
+    let existing =
+      Array.to_list
+        (Array.map (fun e -> (e.Graph.u, e.Graph.v, e.Graph.w)) (Graph.edges g))
+    in
+    Graph.of_edges ~n:(Graph.n g) (!extra @ existing)
+  end
+
+let connected_gnp ~rng ~n ~avg_degree =
+  if n < 2 then invalid_arg "Generators.connected_gnp";
+  let p = avg_degree /. float_of_int (n - 1) in
+  let p = if p > 1.0 then 1.0 else p in
+  ensure_connected ~rng (gnp ~rng ~n ~p)
+
+let weighted_connected_gnp ~rng ~n ~avg_degree ~max_w =
+  randomize_weights ~rng ~lo:1 ~hi:max_w (connected_gnp ~rng ~n ~avg_degree)

@@ -1,0 +1,86 @@
+(** Graph generators for tests, examples and the bench harness.
+
+    All randomized generators take an explicit {!Ultraspan_util.Rng.t} and
+    are fully reproducible.  Weighted variants draw integer weights from
+    the given inclusive range (the paper assumes poly(n)-bounded weights). *)
+
+(** {1 Deterministic families} *)
+
+val path : int -> Graph.t
+val cycle : int -> Graph.t
+val complete : int -> Graph.t
+val star : int -> Graph.t
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols], 4-neighbour mesh. *)
+
+val torus : int -> int -> Graph.t
+(** [torus rows cols], wrap-around mesh; requires both dims >= 3 to avoid
+    parallel edges. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] on 2^d vertices. *)
+
+val binary_tree : int -> Graph.t
+(** Complete binary tree on n vertices (heap layout). *)
+
+val caterpillar : int -> int -> Graph.t
+(** [caterpillar spine legs]: a path with [legs] pendant vertices per spine
+    vertex.  A classic hard case for clustering radius bounds. *)
+
+val harary : k:int -> n:int -> Graph.t
+(** Harary graph H_{k,n}: the minimal k-edge-connected graph on [n]
+    vertices, with ceil(kn/2) edges (circulant construction).  Requires
+    [1 <= k < n].  Ground truth for the connectivity-certificate tests. *)
+
+val circulant : int -> int list -> Graph.t
+(** [circulant n offsets] joins [i] to [i + o mod n] for each offset. *)
+
+(** {1 Random families} *)
+
+val gnp : rng:Ultraspan_util.Rng.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi G(n,p) (possibly disconnected). *)
+
+val gnm : rng:Ultraspan_util.Rng.t -> n:int -> m:int -> Graph.t
+(** Uniform graph with exactly [m] distinct edges ([m] <= n(n-1)/2). *)
+
+val random_geometric :
+  rng:Ultraspan_util.Rng.t -> n:int -> radius:float -> Graph.t
+(** Unit-square random geometric graph; edge weights are the Euclidean
+    distances scaled to integers in [1, 1000]. *)
+
+val preferential_attachment :
+  rng:Ultraspan_util.Rng.t -> n:int -> degree:int -> Graph.t
+(** Barabási–Albert-style: each new vertex attaches to [degree] existing
+    vertices sampled proportionally to degree.  Connected by
+    construction. *)
+
+val random_regular : rng:Ultraspan_util.Rng.t -> n:int -> d:int -> Graph.t
+(** d-regular-ish graph by the configuration model with rejection of
+    self-loops and duplicates (so a few vertices may fall short of degree
+    d).  Requires [n·d] even and [d < n].  Expander-like for d >= 3 —
+    a stress case for the clustering constructions. *)
+
+val lollipop : int -> int -> Graph.t
+(** [lollipop clique_n path_n]: a clique with a path attached — maximizes
+    the gap between diameter-dependent baselines (Thurimella) and the
+    paper's polylog algorithms. *)
+
+(** {1 Combinators} *)
+
+val randomize_weights :
+  rng:Ultraspan_util.Rng.t -> lo:int -> hi:int -> Graph.t -> Graph.t
+(** Same topology and ids, weights uniform in [\[lo, hi\]]. *)
+
+val ensure_connected : rng:Ultraspan_util.Rng.t -> Graph.t -> Graph.t
+(** Add random inter-component edges (weight 1) until connected.  Edge ids
+    are {e not} preserved. *)
+
+val connected_gnp :
+  rng:Ultraspan_util.Rng.t -> n:int -> avg_degree:float -> Graph.t
+(** G(n, p) with [p = avg_degree/(n-1)], patched to be connected.  The
+    bench harness's default workload. *)
+
+val weighted_connected_gnp :
+  rng:Ultraspan_util.Rng.t -> n:int -> avg_degree:float -> max_w:int -> Graph.t
+(** {!connected_gnp} then weights uniform in [\[1, max_w\]]. *)

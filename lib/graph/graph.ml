@@ -1,0 +1,186 @@
+type edge = { u : int; v : int; w : int; id : int }
+
+type t = {
+  n : int;
+  edges : edge array;
+  adj_off : int array; (* length n+1 *)
+  adj_dst : int array; (* length 2m *)
+  adj_eid : int array; (* length 2m *)
+}
+
+let n g = g.n
+
+let m g = Array.length g.edges
+
+let edges g = g.edges
+
+let edge g id = g.edges.(id)
+
+let weight g id = g.edges.(id).w
+
+let endpoints g id =
+  let e = g.edges.(id) in
+  (e.u, e.v)
+
+let other_endpoint g eid x =
+  let e = g.edges.(eid) in
+  if e.u = x then e.v
+  else if e.v = x then e.u
+  else invalid_arg "Graph.other_endpoint: vertex not on edge"
+
+let degree g v = g.adj_off.(v + 1) - g.adj_off.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let iter_adj g v f =
+  for i = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do
+    f g.adj_dst.(i) g.adj_eid.(i)
+  done
+
+let fold_adj g v f init =
+  let acc = ref init in
+  iter_adj g v (fun u eid -> acc := f !acc u eid);
+  !acc
+
+let neighbors g v = List.rev (fold_adj g v (fun acc u eid -> (u, eid) :: acc) [])
+
+let iter_edges g f = Array.iter f g.edges
+
+let total_weight g = Array.fold_left (fun acc e -> acc + e.w) 0 g.edges
+
+let is_unit_weighted g = Array.for_all (fun e -> e.w = 1) g.edges
+
+let build n canonical_edges =
+  (* canonical_edges: deduplicated, u < v, valid. *)
+  let m = Array.length canonical_edges in
+  let edges =
+    Array.mapi (fun id (u, v, w) -> { u; v; w; id }) canonical_edges
+  in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edges;
+  let adj_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    adj_off.(v + 1) <- adj_off.(v) + deg.(v)
+  done;
+  let cursor = Array.copy adj_off in
+  let adj_dst = Array.make (2 * m) 0 in
+  let adj_eid = Array.make (2 * m) 0 in
+  Array.iter
+    (fun e ->
+      adj_dst.(cursor.(e.u)) <- e.v;
+      adj_eid.(cursor.(e.u)) <- e.id;
+      cursor.(e.u) <- cursor.(e.u) + 1;
+      adj_dst.(cursor.(e.v)) <- e.u;
+      adj_eid.(cursor.(e.v)) <- e.id;
+      cursor.(e.v) <- cursor.(e.v) + 1)
+    edges;
+  { n; edges; adj_off; adj_dst; adj_eid }
+
+let canonicalize ~n triples =
+  let check (u, v, w) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.of_edges: endpoint out of range";
+    if u = v then invalid_arg "Graph.of_edges: self-loop";
+    if w < 0 then invalid_arg "Graph.of_edges: negative weight";
+    if u < v then (u, v, w) else (v, u, w)
+  in
+  let canon = Array.map check triples in
+  Array.sort
+    (fun (u1, v1, w1) (u2, v2, w2) -> compare (u1, v1, w1) (u2, v2, w2))
+    canon;
+  (* Merge parallel edges keeping the minimum weight (sort puts it first). *)
+  let out = ref [] in
+  Array.iter
+    (fun (u, v, w) ->
+      match !out with
+      | (u', v', _) :: _ when u' = u && v' = v -> ()
+      | _ -> out := (u, v, w) :: !out)
+    canon;
+  Array.of_list (List.rev !out)
+
+let of_edge_array ~n triples =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  build n (canonicalize ~n triples)
+
+let of_edges ~n triples = of_edge_array ~n (Array.of_list triples)
+
+let empty n = of_edge_array ~n [||]
+
+let find_edge g a b =
+  if a = b then None
+  else begin
+    let a, b = if degree g a <= degree g b then (a, b) else (b, a) in
+    let found = ref None in
+    iter_adj g a (fun u eid -> if u = b && !found = None then found := Some eid);
+    !found
+  end
+
+let mem_edge g a b = find_edge g a b <> None
+
+let with_weights g f =
+  let edges' = Array.map (fun e -> { e with w = f e.id }) g.edges in
+  Array.iter (fun e -> if e.w < 0 then invalid_arg "Graph.with_weights: negative") edges';
+  { g with edges = edges' }
+
+let with_unit_weights g = with_weights g (fun _ -> 1)
+
+let sub_by_eids g keep =
+  if Array.length keep <> m g then
+    invalid_arg "Graph.sub_by_eids: mask length mismatch";
+  let triples = ref [] in
+  Array.iter
+    (fun e -> if keep.(e.id) then triples := (e.u, e.v, e.w) :: !triples)
+    g.edges;
+  of_edge_array ~n:g.n (Array.of_list !triples)
+
+let sub_with_mapping g keep =
+  if Array.length keep <> m g then
+    invalid_arg "Graph.sub_with_mapping: mask length mismatch";
+  (* The canonical edge array is sorted by (u, v); a filtered subsequence
+     stays sorted, so [of_edge_array] assigns new ids in filtered order. *)
+  let kept = ref [] in
+  for id = m g - 1 downto 0 do
+    if keep.(id) then kept := id :: !kept
+  done;
+  let mapping = Array.of_list !kept in
+  let triples =
+    Array.map
+      (fun id ->
+        let e = g.edges.(id) in
+        (e.u, e.v, e.w))
+      mapping
+  in
+  (of_edge_array ~n:g.n triples, mapping)
+
+let sub_by_eid_list g eids =
+  let keep = Array.make (m g) false in
+  List.iter
+    (fun id ->
+      if id < 0 || id >= m g then invalid_arg "Graph.sub_by_eid_list: bad id";
+      keep.(id) <- true)
+    eids;
+  sub_by_eids g keep
+
+let pp fmt g =
+  let lo, hi =
+    if m g = 0 then (0, 0)
+    else
+      Array.fold_left
+        (fun (lo, hi) e -> (min lo e.w, max hi e.w))
+        (g.edges.(0).w, g.edges.(0).w)
+        g.edges
+  in
+  Format.fprintf fmt "graph(n=%d, m=%d, w∈[%d,%d])" g.n (m g) lo hi
+
+let pp_edges fmt g =
+  pp fmt g;
+  Array.iter (fun e -> Format.fprintf fmt "@.%d -- %d (w=%d)" e.u e.v e.w) g.edges

@@ -1,0 +1,108 @@
+(** Undirected weighted graphs in compressed-sparse-row form.
+
+    This is the substrate every algorithm in the library operates on.
+    Design points:
+
+    - Vertices are [0 .. n-1].  Edges carry non-negative integer weights
+      (the paper assumes poly(n)-bounded weights; unweighted graphs use
+      weight 1 everywhere).
+    - Every edge has a stable integer id in [0 .. m-1].  Spanner and
+      certificate algorithms return sets of edge ids of the input graph,
+      which makes "is the output a subgraph" trivially true by construction
+      and lets distinct algorithms be compared edge-for-edge.
+    - The structure is immutable after construction.  Self-loops are
+      rejected; parallel edges are merged keeping the minimum weight. *)
+
+type edge = { u : int; v : int; w : int; id : int }
+(** Canonical representation: [u < v], [w >= 0]. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> (int * int * int) list -> t
+(** [of_edges ~n edges] builds a graph on [n] vertices from
+    [(u, v, weight)] triples.  Orientation of the pairs is irrelevant.
+    Raises [Invalid_argument] on out-of-range endpoints, self-loops, or
+    negative weights.  Parallel edges are merged (minimum weight kept). *)
+
+val of_edge_array : n:int -> (int * int * int) array -> t
+
+val empty : int -> t
+(** Graph with [n] vertices and no edges. *)
+
+(** {1 Accessors} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val edges : t -> edge array
+(** All edges, indexed by id.  Do not mutate. *)
+
+val edge : t -> int -> edge
+(** Edge by id. *)
+
+val weight : t -> int -> int
+(** Weight of the edge with the given id. *)
+
+val endpoints : t -> int -> int * int
+(** [(u, v)] with [u < v]. *)
+
+val other_endpoint : t -> int -> int -> int
+(** [other_endpoint g eid x] is the endpoint of edge [eid] that is not [x]. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val iter_adj : t -> int -> (int -> int -> unit) -> unit
+(** [iter_adj g v f] calls [f neighbor edge_id] for every incident edge. *)
+
+val fold_adj : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+val neighbors : t -> int -> (int * int) list
+(** [(neighbor, edge_id)] pairs. *)
+
+val iter_edges : t -> (edge -> unit) -> unit
+
+val total_weight : t -> int
+
+val is_unit_weighted : t -> bool
+(** All weights equal to 1. *)
+
+val find_edge : t -> int -> int -> int option
+(** Edge id joining the two vertices, if present.  O(min degree). *)
+
+val mem_edge : t -> int -> int -> bool
+
+(** {1 Derived graphs} *)
+
+val with_unit_weights : t -> t
+(** Same topology and the same edge ids, all weights 1. *)
+
+val with_weights : t -> (int -> int) -> t
+(** [with_weights g f] reweights edge [id] to [f id] (same ids). *)
+
+val sub_by_eids : t -> bool array -> t
+(** [sub_by_eids g keep] is the spanning subgraph on the same vertex set
+    keeping exactly the edges with [keep.(id) = true].  Edge ids in the
+    result are renumbered; use {!sub_orig_eid} metadata variant if the
+    mapping is needed. *)
+
+val sub_by_eid_list : t -> int list -> t
+
+val sub_with_mapping : t -> bool array -> t * int array
+(** Like {!sub_by_eids}, but also returns the map from new edge ids to the
+    original ids (new id [i] corresponds to original edge [map.(i)]).  Used
+    by the certificate algorithms, which peel spanners off shrinking
+    subgraphs and must translate the result back. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: [n] vertices, [m] edges, weight range. *)
+
+val pp_edges : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+type t = {
+  n : int;
+  (* Arc arrays: arc i has to.(i), cap.(i); arc i lxor 1 is its reverse.
+     For an undirected edge both directions start with the full capacity,
+     which is the standard undirected-flow construction. *)
+  arc_to : int array;
+  arc_cap : int array;
+  arc_cap0 : int array;
+  off : int array;
+  arc_of : int array; (* CSR of arc ids per vertex *)
+}
+
+let of_graph ?(unit_capacities = true) g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let arc_to = Array.make (2 * m) 0 in
+  let arc_cap = Array.make (2 * m) 0 in
+  Graph.iter_edges g (fun e ->
+      let c = if unit_capacities then 1 else e.Graph.w in
+      arc_to.(2 * e.Graph.id) <- e.Graph.v;
+      arc_cap.(2 * e.Graph.id) <- c;
+      arc_to.((2 * e.Graph.id) + 1) <- e.Graph.u;
+      arc_cap.((2 * e.Graph.id) + 1) <- c);
+  let deg = Array.make n 0 in
+  Graph.iter_edges g (fun e ->
+      deg.(e.Graph.u) <- deg.(e.Graph.u) + 1;
+      deg.(e.Graph.v) <- deg.(e.Graph.v) + 1);
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + deg.(v)
+  done;
+  let cursor = Array.copy off in
+  let arc_of = Array.make (2 * m) 0 in
+  Graph.iter_edges g (fun e ->
+      arc_of.(cursor.(e.Graph.u)) <- 2 * e.Graph.id;
+      cursor.(e.Graph.u) <- cursor.(e.Graph.u) + 1;
+      arc_of.(cursor.(e.Graph.v)) <- (2 * e.Graph.id) + 1;
+      cursor.(e.Graph.v) <- cursor.(e.Graph.v) + 1);
+  { n; arc_to; arc_cap; arc_cap0 = Array.copy arc_cap; off; arc_of }
+
+let reset net = Array.blit net.arc_cap0 0 net.arc_cap 0 (Array.length net.arc_cap)
+
+(* Dinic: BFS level graph + DFS blocking flow. *)
+let max_flow ?(limit = max_int) net s t =
+  if s = t then invalid_arg "Maxflow.max_flow: s = t";
+  reset net;
+  let level = Array.make net.n (-1) in
+  let iter = Array.make net.n 0 in
+  let bfs () =
+    Array.fill level 0 net.n (-1);
+    let q = Queue.create () in
+    level.(s) <- 0;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      for i = net.off.(v) to net.off.(v + 1) - 1 do
+        let a = net.arc_of.(i) in
+        let u = net.arc_to.(a) in
+        if net.arc_cap.(a) > 0 && level.(u) = -1 then begin
+          level.(u) <- level.(v) + 1;
+          Queue.add u q
+        end
+      done
+    done;
+    level.(t) >= 0
+  in
+  let rec dfs v pushed =
+    if v = t then pushed
+    else begin
+      let result = ref 0 in
+      while !result = 0 && iter.(v) < net.off.(v + 1) - net.off.(v) do
+        let a = net.arc_of.(net.off.(v) + iter.(v)) in
+        let u = net.arc_to.(a) in
+        if net.arc_cap.(a) > 0 && level.(u) = level.(v) + 1 then begin
+          let d = dfs u (min pushed net.arc_cap.(a)) in
+          if d > 0 then begin
+            net.arc_cap.(a) <- net.arc_cap.(a) - d;
+            net.arc_cap.(a lxor 1) <- net.arc_cap.(a lxor 1) + d;
+            result := d
+          end
+          else iter.(v) <- iter.(v) + 1
+        end
+        else iter.(v) <- iter.(v) + 1
+      done;
+      !result
+    end
+  in
+  let flow = ref 0 in
+  let continue = ref true in
+  while !continue && !flow < limit && bfs () do
+    Array.fill iter 0 net.n 0;
+    let pushed = ref (dfs s (limit - !flow)) in
+    while !pushed > 0 do
+      flow := !flow + !pushed;
+      pushed := if !flow < limit then dfs s (limit - !flow) else 0
+    done;
+    if !flow >= limit then continue := false
+  done;
+  min !flow limit
+
+let edge_connectivity ?(upper = max_int) g =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else if not (Connectivity.is_connected g) then 0
+  else begin
+    let net = of_graph ~unit_capacities:true g in
+    let lambda = ref (if upper = max_int then max_int else upper + 1) in
+    (* Fix s = 0; some minimum cut separates 0 from somebody. *)
+    for v = 1 to n - 1 do
+      let cap = if !lambda = max_int then max_int else !lambda in
+      let f = max_flow ~limit:cap net 0 v in
+      if f < !lambda then lambda := f
+    done;
+    !lambda
+  end
+
+let is_k_edge_connected g k =
+  if k <= 0 then Graph.n g > 0
+  else if Graph.n g <= 1 then false
+  else edge_connectivity ~upper:k g >= k

@@ -1,0 +1,30 @@
+(** Dinic max-flow and edge-connectivity queries.
+
+    The certificate algorithms of the paper promise to preserve
+    k-edge-connectivity; these routines are the ground truth the test-suite
+    and bench harness check that promise against. *)
+
+type t
+(** A flow network built from an undirected graph (each undirected edge
+    becomes a unit- or weight-capacity arc pair).  Reusable across many
+    (s,t) queries; capacities are reset per query. *)
+
+val of_graph : ?unit_capacities:bool -> Graph.t -> t
+(** [unit_capacities] defaults to [true] (edge connectivity semantics);
+    with [false] the capacity of each edge is its weight. *)
+
+val max_flow : ?limit:int -> t -> int -> int -> int
+(** [max_flow net s t] is the maximum (s,t)-flow.  With [~limit:k] the
+    search stops as soon as the flow reaches [k] (returning [k]), which
+    turns the query into a cheap "is local connectivity >= k" test. *)
+
+val edge_connectivity : ?upper:int -> Graph.t -> int
+(** Global edge connectivity λ(G): the size of a minimum edge cut.  0 when
+    disconnected (or [n <= 1]).  Computed as min over vertices [v <> 0] of
+    maxflow(0, v), each run capped at [upper+1] when [upper] is given
+    (so the result saturates at [upper + 1], meaning "> upper").
+    O(n · maxflow). *)
+
+val is_k_edge_connected : Graph.t -> int -> bool
+(** [is_k_edge_connected g k] iff λ(G) >= k.  [k <= 0] is trivially true
+    for non-empty graphs. *)

@@ -1,0 +1,62 @@
+(* Stoer–Wagner with an adjacency matrix of merged super-vertices; maximum
+   adjacency (minimum cut phase) ordering. *)
+
+let stoer_wagner_cut g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Mincut.stoer_wagner: need >= 2 vertices";
+  if not (Connectivity.is_connected g) then (0, Array.make n false)
+  else begin
+    let w = Array.make_matrix n n 0 in
+    Graph.iter_edges g (fun e ->
+        w.(e.Graph.u).(e.Graph.v) <- w.(e.Graph.u).(e.Graph.v) + e.Graph.w;
+        w.(e.Graph.v).(e.Graph.u) <- w.(e.Graph.v).(e.Graph.u) + e.Graph.w);
+    (* members.(v): original vertices merged into super-vertex v. *)
+    let members = Array.init n (fun v -> [ v ]) in
+    let active = Array.make n true in
+    let best = ref max_int in
+    let best_side = ref [] in
+    let remaining = ref n in
+    while !remaining > 1 do
+      (* Minimum cut phase: maximum adjacency order over active vertices. *)
+      let in_a = Array.make n false in
+      let key = Array.make n 0 in
+      let prev = ref (-1) in
+      let last = ref (-1) in
+      for _ = 1 to !remaining do
+        (* pick active, not in A, max key *)
+        let pick = ref (-1) in
+        for v = 0 to n - 1 do
+          if active.(v) && not in_a.(v) then
+            if !pick = -1 || key.(v) > key.(!pick) then pick := v
+        done;
+        let v = !pick in
+        in_a.(v) <- true;
+        prev := !last;
+        last := v;
+        for u = 0 to n - 1 do
+          if active.(u) && not in_a.(u) then key.(u) <- key.(u) + w.(v).(u)
+        done
+      done;
+      (* cut-of-the-phase: last vertex vs rest *)
+      let s = !prev and t = !last in
+      if key.(t) < !best then begin
+        best := key.(t);
+        best_side := members.(t)
+      end;
+      (* merge t into s *)
+      for u = 0 to n - 1 do
+        if active.(u) && u <> s && u <> t then begin
+          w.(s).(u) <- w.(s).(u) + w.(t).(u);
+          w.(u).(s) <- w.(u).(s) + w.(u).(t)
+        end
+      done;
+      members.(s) <- members.(t) @ members.(s);
+      active.(t) <- false;
+      decr remaining
+    done;
+    let side = Array.make n false in
+    List.iter (fun v -> side.(v) <- true) !best_side;
+    (!best, side)
+  end
+
+let stoer_wagner g = fst (stoer_wagner_cut g)

@@ -1,0 +1,13 @@
+(** Stoer–Wagner global minimum cut.
+
+    An independent O(n³) oracle for edge connectivity: with unit weights the
+    minimum cut value equals λ(G).  Used to cross-check the flow-based
+    {!Maxflow.edge_connectivity} in the property tests. *)
+
+val stoer_wagner : Graph.t -> int
+(** Weight of a global minimum cut of a connected graph with >= 2 vertices.
+    Returns 0 for disconnected graphs and raises [Invalid_argument] for
+    graphs with < 2 vertices. *)
+
+val stoer_wagner_cut : Graph.t -> int * bool array
+(** [(weight, side)]: a minimum cut and the side of each vertex. *)

@@ -1,0 +1,61 @@
+(** Clusterings and partitions with per-cluster rooted trees.
+
+    This is the paper's central bookkeeping object (Section 2): a
+    {e clustering} is a set of disjoint vertex clusters; it is a
+    {e partition} when every vertex is clustered; it is an {e r-clustering}
+    when each cluster carries a rooted spanning tree of hop-radius <= r
+    inside the cluster.  Baswana–Sen iterations, the stretch-friendly
+    partitions of Lemma 4.1 and the ultra-sparse reduction of Theorem 1.2
+    all manipulate values of this type.
+
+    Representation: per-vertex cluster id ([-1] = unclustered) and
+    per-vertex tree parent pointer (vertex + edge id, [-1] at roots and at
+    unclustered vertices). *)
+
+type t = {
+  g : Graph.t;
+  cluster_of : int array;  (** vertex -> cluster id in [0..count-1], or -1 *)
+  parent : int array;      (** vertex -> tree parent vertex, or -1 at roots *)
+  parent_eid : int array;  (** vertex -> edge id to parent, or -1 at roots *)
+  roots : int array;       (** cluster id -> root vertex *)
+}
+
+val count : t -> int
+(** Number of clusters. *)
+
+val trivial : Graph.t -> t
+(** One singleton cluster per vertex. *)
+
+val of_cluster_of : Graph.t -> int array -> t
+(** Rebuild trees for a given (possibly partial) cluster assignment: inside
+    each cluster a BFS tree from the smallest-id member.  Raises if some
+    cluster is not connected in the induced subgraph. *)
+
+val members : t -> int list array
+(** Cluster id -> member vertices (increasing). *)
+
+val sizes : t -> int array
+
+val tree_edges : t -> int list
+(** All tree edge ids (a forest: one tree per cluster). *)
+
+val radius : t -> int -> int
+(** Hop radius of the given cluster's tree (max hop depth of a member). *)
+
+val max_radius : t -> int
+(** 0 when there are no clusters. *)
+
+val is_partition : t -> bool
+(** Every vertex clustered. *)
+
+val restrict : t -> keep_cluster:(int -> bool) -> t
+(** Drop the clusters for which [keep_cluster] is false (their vertices
+    become unclustered); remaining clusters are renumbered compactly. *)
+
+val depths : t -> int array
+(** Vertex -> hop depth in its cluster tree ([-1] if unclustered). *)
+
+val validate : t -> (unit, string) result
+(** Structural soundness: parent pointers form in-cluster trees rooted at
+    [roots], each tree edge exists in the graph, unclustered vertices have
+    no parent, clusters are exactly the root-reachable sets. *)

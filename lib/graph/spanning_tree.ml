@@ -1,0 +1,85 @@
+module Uf = Ultraspan_util.Union_find
+
+let bfs_forest g =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Graph.iter_adj g v (fun u eid ->
+            if not seen.(u) then begin
+              seen.(u) <- true;
+              acc := eid :: !acc;
+              Queue.add u q
+            end)
+      done
+    end
+  done;
+  List.rev !acc
+
+let kruskal_mst g =
+  let order = Array.init (Graph.m g) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare (Graph.weight g a) (Graph.weight g b) in
+      if c <> 0 then c else compare a b)
+    order;
+  let uf = Uf.create (Graph.n g) in
+  let acc = ref [] in
+  Array.iter
+    (fun eid ->
+      let u, v = Graph.endpoints g eid in
+      if Uf.union uf u v then acc := eid :: !acc)
+    order;
+  List.rev !acc
+
+let prim_mst g =
+  let n = Graph.n g in
+  let in_tree = Array.make n false in
+  let acc = ref [] in
+  let pq = Ultraspan_util.Pqueue.create ~cmp:compare () in
+  let add_vertex v =
+    in_tree.(v) <- true;
+    Graph.iter_adj g v (fun u eid ->
+        if not in_tree.(u) then
+          Ultraspan_util.Pqueue.push pq (Graph.weight g eid, eid) u)
+  in
+  for s = 0 to n - 1 do
+    if not in_tree.(s) then begin
+      add_vertex s;
+      let continue = ref true in
+      while !continue do
+        match Ultraspan_util.Pqueue.pop pq with
+        | None -> continue := false
+        | Some ((_, eid), v) ->
+            if not in_tree.(v) then begin
+              acc := eid :: !acc;
+              add_vertex v
+            end
+      done
+    end
+  done;
+  List.rev !acc
+
+let forest_weight g eids =
+  List.fold_left (fun acc eid -> acc + Graph.weight g eid) 0 eids
+
+let is_forest g eids =
+  let uf = Uf.create (Graph.n g) in
+  List.for_all
+    (fun eid ->
+      let u, v = Graph.endpoints g eid in
+      Uf.union uf u v)
+    eids
+
+let is_spanning_forest g eids =
+  is_forest g eids
+  &&
+  let keep = Array.make (Graph.m g) false in
+  List.iter (fun eid -> keep.(eid) <- true) eids;
+  Connectivity.spans g keep

@@ -1,0 +1,25 @@
+(** Spanning trees and forests.
+
+    A forest is returned as a list of edge ids of the host graph, which
+    composes directly with the edge-mask convention used by the spanner and
+    certificate algorithms. *)
+
+val bfs_forest : Graph.t -> int list
+(** Edge ids of a BFS spanning forest (one BFS tree per component, roots at
+    the smallest vertex of each component). *)
+
+val kruskal_mst : Graph.t -> int list
+(** Minimum spanning forest by Kruskal; ties broken by edge id, so the
+    output is deterministic. *)
+
+val prim_mst : Graph.t -> int list
+(** Minimum spanning forest by Prim (run from each component).  Used to
+    cross-check Kruskal in tests; total weights must agree. *)
+
+val forest_weight : Graph.t -> int list -> int
+
+val is_forest : Graph.t -> int list -> bool
+(** No cycle among the given edges. *)
+
+val is_spanning_forest : Graph.t -> int list -> bool
+(** A forest whose components equal the graph's components. *)

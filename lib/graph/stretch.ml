@@ -1,0 +1,67 @@
+let vertex_worst g keep v =
+  (* Worst stretch among edges (v,u) with v < u (each edge charged once).
+     If every such edge is kept, each has d_H <= w, so stretch <= 1 and the
+     Dijkstra can be skipped. *)
+  let needs_check = ref false in
+  let kept_count = ref 0 in
+  Graph.iter_adj g v (fun u eid ->
+      if u > v then
+        if keep.(eid) then incr kept_count else needs_check := true);
+  if not !needs_check then
+    if !kept_count = 0 then (0.0, 0.0, 0)
+    else (1.0, float_of_int !kept_count, !kept_count)
+  else begin
+    let dist = Dijkstra.distances ~allow:(fun eid -> keep.(eid)) g v in
+    let worst = ref 0.0 and total = ref 0.0 and count = ref 0 in
+    Graph.iter_adj g v (fun u eid ->
+        if u > v then begin
+          let w = Graph.weight g eid in
+          let s =
+            if dist.(u) = Dijkstra.infinity then Float.infinity
+            else if w = 0 then if dist.(u) = 0 then 1.0 else Float.infinity
+            else float_of_int dist.(u) /. float_of_int w
+          in
+          if s > !worst then worst := s;
+          total := !total +. s;
+          incr count
+        end);
+    (!worst, !total, !count)
+  end
+
+let max_edge_stretch g keep =
+  if Array.length keep <> Graph.m g then
+    invalid_arg "Stretch: mask length mismatch";
+  let worst = ref 0.0 in
+  for v = 0 to Graph.n g - 1 do
+    let w, _, _ = vertex_worst g keep v in
+    if w > !worst then worst := w
+  done;
+  if Graph.m g = 0 then 1.0 else !worst
+
+let mean_edge_stretch g keep =
+  if Array.length keep <> Graph.m g then
+    invalid_arg "Stretch: mask length mismatch";
+  let total = ref 0.0 and count = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let _, t, c = vertex_worst g keep v in
+    total := !total +. t;
+    count := !count + c
+  done;
+  if !count = 0 then 1.0 else !total /. float_of_int !count
+
+let sampled_edge_stretch ~rng ~samples g keep =
+  if Array.length keep <> Graph.m g then
+    invalid_arg "Stretch: mask length mismatch";
+  let n = Graph.n g in
+  if n = 0 || Graph.m g = 0 then 1.0
+  else begin
+    let worst = ref 0.0 in
+    for _ = 1 to samples do
+      let v = Ultraspan_util.Rng.int rng n in
+      let w, _, _ = vertex_worst g keep v in
+      if w > !worst then worst := w
+    done;
+    !worst
+  end
+
+let check_stretch g keep alpha = max_edge_stretch g keep <= alpha +. 1e-9

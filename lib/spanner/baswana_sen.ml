@@ -1,0 +1,42 @@
+open! Import
+
+type outcome = {
+  spanner : Spanner.t;
+  per_iteration : Bs_core.iteration_stats list;
+}
+
+let default_k n = max 1 (int_of_float (ceil (Float.log2 (float_of_int (max 2 n)))))
+
+let iterations ~rng ~state ~p ~iters ~rounds =
+  let stats = ref [] in
+  for _ = 1 to iters do
+    let nc = Bs_core.n_clusters state in
+    let sampled = Array.init nc (fun _ -> Rng.bernoulli rng p) in
+    let st = Bs_core.iteration state ~sampled in
+    Rounds.charge_aggregate ~label:"bs:iteration" rounds
+      ~radius:(Bs_core.completed_iterations state);
+    stats := st :: !stats
+  done;
+  List.rev !stats
+
+let run ~rng ?k g =
+  let n = Graph.n g in
+  let k = match k with Some k -> k | None -> default_k n in
+  if k < 1 then invalid_arg "Baswana_sen.run: k >= 1";
+  let p = float_of_int (max 2 n) ** (-1.0 /. float_of_int k) in
+  let state = Bs_core.create g in
+  let rounds = Rounds.create () in
+  let stats = iterations ~rng ~state ~p ~iters:(k - 1) ~rounds in
+  let last = Bs_core.finish state in
+  Rounds.charge_aggregate ~label:"bs:final" rounds ~radius:k;
+  let spanner =
+    { Spanner.keep = Array.copy (Bs_core.spanner_mask state); rounds }
+  in
+  { spanner; per_iteration = stats @ [ last ] }
+
+let size_bound ~n ~k ~weighted =
+  let nf = float_of_int n and kf = float_of_int k in
+  let p = nf ** (-1.0 /. kf) in
+  let extremal = nf ** (1.0 +. (1.0 /. kf)) in
+  if weighted then (4.0 *. nf *. kf /. p) +. extremal
+  else (2.0 *. nf *. kf) +. (4.0 *. nf *. log (kf +. 1.0) /. p) +. extremal

@@ -1,0 +1,36 @@
+open! Import
+
+(** The randomized Baswana–Sen (2k-1)-spanner [BS07] — the baseline the
+    paper derandomizes.
+
+    k iterations; in iterations 1..k-1 each cluster is sampled independently
+    with probability n^(-1/k); in iteration k nothing is sampled, so every
+    vertex dies.  Expected size O(n^(1+1/k) k) on weighted graphs and
+    O(nk + n^(1+1/k) log k) on unweighted ones; stretch at most 2k-1
+    deterministically (Lemma 3.1). *)
+
+type outcome = {
+  spanner : Spanner.t;
+  per_iteration : Bs_core.iteration_stats list;
+}
+
+val run : rng:Rng.t -> ?k:int -> Graph.t -> outcome
+(** [run ~rng ~k g].  [k] defaults to [ceil(log2 n)] (the sparse-spanner
+    regime).  Requires [k >= 1]. *)
+
+val iterations :
+  rng:Rng.t ->
+  state:Bs_core.t ->
+  p:float ->
+  iters:int ->
+  rounds:Rounds.t ->
+  Bs_core.iteration_stats list
+(** Lower-level: run [iters] sampled iterations with probability [p] on an
+    existing state (no finishing iteration).  Used by the randomized
+    (Pettie-style) variant of the linear-size construction. *)
+
+val size_bound : n:int -> k:int -> weighted:bool -> float
+(** The analytical expected-size bound (with explicit constants matching
+    the analysis in Section 3), used by the statistical tests:
+    weighted [4 n k / p + n^(1+1/k)], unweighted
+    [2 n k + 4 n ln(k+1) / p + n^(1+1/k)] where [p = n^(-1/k)]. *)

@@ -1,0 +1,266 @@
+open! Import
+
+type step_info = {
+  step : int;
+  active_before : int;
+  clustered : int;
+  clusters_formed : int;
+  bad_clusters : int;
+  inter_edges_added : int;
+  max_cut_distance : int;
+  xi_avg : float;
+}
+
+type outcome = {
+  spanner : Spanner.t;
+  steps : step_info list;
+  max_tree_diameter : int;
+  pram : Pram.t;
+}
+
+let require_unweighted g =
+  if not (Graph.is_unit_weighted g) then
+    invalid_arg "Clustering_spanner: unweighted graphs only"
+
+(* Hop diameter of a tree given by its edge ids: two BFS sweeps restricted
+   to the tree edges. *)
+let tree_diameter g tree_eids =
+  match tree_eids with
+  | [] -> 0
+  | eid :: _ ->
+      let allow = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace allow e ()) tree_eids;
+      let start, _ = Graph.endpoints g eid in
+      let d1 = Bfs.distances ~allow:(Hashtbl.mem allow) g start in
+      let far = ref start in
+      Array.iteri (fun v d -> if d > d1.(!far) then far := v) d1;
+      let d2 = Bfs.distances ~allow:(Hashtbl.mem allow) g !far in
+      Array.fold_left max 0 d2
+
+let sparse ?(separation = 3) g =
+  require_unweighted g;
+  if separation < 2 then invalid_arg "Clustering_spanner.sparse: separation >= 2";
+  let n = Graph.n g in
+  let keep = Array.make (Graph.m g) false in
+  let rounds = Rounds.create () in
+  let pram = Pram.create () in
+  let active = Array.make n true in
+  let remaining = ref n in
+  let steps = ref [] in
+  let step_no = ref 0 in
+  let max_diam = ref 0 in
+  while !remaining > 0 do
+    incr step_no;
+    if !step_no > (4 * (1 + int_of_float (Float.log2 (float_of_int (n + 2))))) + 8
+    then failwith "Clustering_spanner.sparse: no progress";
+    let active_before = !remaining in
+    let clustering = Separated_clustering.make ~active ~separation g in
+    let xi_avg = Separated_clustering.avg_overlap g clustering in
+    (* Steiner trees into the spanner; members leave the active set. *)
+    Array.iter
+      (fun c ->
+        List.iter (fun eid -> keep.(eid) <- true) c.Separated_clustering.tree_eids;
+        let d = tree_diameter g c.Separated_clustering.tree_eids in
+        if d > !max_diam then max_diam := d;
+        List.iter
+          (fun v ->
+            active.(v) <- false;
+            decr remaining)
+          c.Separated_clustering.members)
+      clustering.Separated_clustering.clusters;
+    (* One witness edge from each still-unclustered vertex into each
+       neighbouring new cluster (with the default separation 3 there is at
+       most one; separation 2 can legitimately give several). *)
+    let inter = ref 0 in
+    for v = 0 to n - 1 do
+      if active.(v) then begin
+        let chosen = Hashtbl.create 2 in
+        Graph.iter_adj g v (fun u eid ->
+            let cu = clustering.Separated_clustering.cluster_of.(u) in
+            if cu >= 0 && not (Hashtbl.mem chosen cu) then
+              Hashtbl.replace chosen cu eid);
+        if separation >= 3 && Hashtbl.length chosen > 1 then
+          failwith "Clustering_spanner.sparse: separation violated";
+        Hashtbl.iter
+          (fun _ eid ->
+            keep.(eid) <- true;
+            incr inter)
+          chosen
+      end
+    done;
+    Rounds.charge ~label:"cl-sparse:step" rounds
+      ((2 * Network_decomposition.rounds_bound g / 8) + 4);
+    Pram.charge ~label:"cl-sparse:step" pram
+      ~work:((4 * Graph.m g) + n)
+      ~depth:(!max_diam + 1 + int_of_float (Float.log2 (float_of_int (n + 2))));
+    steps :=
+      {
+        step = !step_no;
+        active_before;
+        clustered = active_before - !remaining;
+        clusters_formed = Array.length clustering.Separated_clustering.clusters;
+        bad_clusters = 0;
+        inter_edges_added = !inter;
+        max_cut_distance = 0;
+        xi_avg;
+      }
+      :: !steps
+  done;
+  {
+    spanner = { Spanner.keep; rounds };
+    steps = List.rev !steps;
+    max_tree_diameter = !max_diam;
+    pram;
+  }
+
+let ultra_sparse ~t g =
+  require_unweighted g;
+  if t < 1 then invalid_arg "Clustering_spanner.ultra_sparse: t >= 1";
+  let n = Graph.n g in
+  let keep = Array.make (Graph.m g) false in
+  let rounds = Rounds.create () in
+  let pram = Pram.create () in
+  let active = Array.make n true in
+  let remaining = ref n in
+  let steps = ref [] in
+  let step_no = ref 0 in
+  let max_diam = ref 0 in
+  let final_cluster_of = Array.make n (-1) in
+  let n_final = ref 0 in
+  while !remaining > 0 do
+    incr step_no;
+    if !step_no > (8 * (1 + int_of_float (Float.log2 (float_of_int (n + 2))))) + 8
+    then failwith "Clustering_spanner.ultra_sparse: no progress";
+    let active_before = !remaining in
+    let clustering = Separated_clustering.make ~active ~separation:(10 * t) g in
+    let xi_avg = Separated_clustering.avg_overlap g clustering in
+    let bad = ref 0 in
+    let max_cut = ref 0 in
+    let new_cluster_ids = ref [] in
+    Array.iter
+      (fun c ->
+        let size_c = List.length c.Separated_clustering.members in
+        (* BFS in G[active] from the members, to depth 4t: dist.(u) =
+           d_{G_i}(u, C). *)
+        let dist = Array.make n (-1) in
+        let par = Array.make n (-1) in
+        let par_eid = Array.make n (-1) in
+        let q = Queue.create () in
+        List.iter
+          (fun v ->
+            dist.(v) <- 0;
+            Queue.add v q)
+          c.Separated_clustering.members;
+        let layer_count = Array.make ((4 * t) + 2) 0 in
+        layer_count.(0) <- size_c;
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          if dist.(v) <= 4 * t then
+            Graph.iter_adj g v (fun u eid ->
+                if active.(u) && dist.(u) = -1 then begin
+                  dist.(u) <- dist.(v) + 1;
+                  par.(u) <- v;
+                  par_eid.(u) <- eid;
+                  if dist.(u) <= (4 * t) + 1 then
+                    layer_count.(dist.(u)) <- layer_count.(dist.(u)) + 1;
+                  Queue.add u q
+                end)
+        done;
+        (* Smallest good cutting distance: frontier at j+1 holds at most
+           |C|/t vertices. *)
+        let cut = ref (-1) in
+        (try
+           for j = 0 to (4 * t) - 1 do
+             if layer_count.(j + 1) * t <= size_c then begin
+               cut := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !cut = -1 then incr bad
+        else begin
+          let j_c = !cut in
+          if j_c > !max_cut then max_cut := j_c;
+          let cid = !n_final in
+          incr n_final;
+          new_cluster_ids := cid :: !new_cluster_ids;
+          (* Tree: the cluster's Steiner tree plus BFS parents of the grown
+             vertices. *)
+          List.iter
+            (fun eid -> keep.(eid) <- true)
+            c.Separated_clustering.tree_eids;
+          let tree = ref c.Separated_clustering.tree_eids in
+          for u = 0 to n - 1 do
+            if dist.(u) >= 0 && dist.(u) <= j_c then begin
+              if dist.(u) > 0 then begin
+                keep.(par_eid.(u)) <- true;
+                tree := par_eid.(u) :: !tree
+              end;
+              final_cluster_of.(u) <- cid;
+              active.(u) <- false;
+              decr remaining
+            end
+          done;
+          let d = tree_diameter g !tree in
+          if d > !max_diam then max_diam := d
+        end)
+      clustering.Separated_clustering.clusters;
+    (* Witness edges: each still-active vertex adjacent to a new cluster
+       adds one edge into it (unique by separation). *)
+    let new_ids = !new_cluster_ids in
+    let is_new = Hashtbl.create 16 in
+    List.iter (fun c -> Hashtbl.replace is_new c ()) new_ids;
+    let inter = ref 0 in
+    for v = 0 to n - 1 do
+      if active.(v) then begin
+        let target = ref (-1) in
+        let edge = ref (-1) in
+        Graph.iter_adj g v (fun u eid ->
+            let cu = final_cluster_of.(u) in
+            if cu >= 0 && Hashtbl.mem is_new cu then begin
+              if !target = -1 then begin
+                target := cu;
+                edge := eid
+              end
+              else if !target <> cu then
+                failwith "Clustering_spanner.ultra_sparse: two adjacent new clusters"
+            end);
+        if !edge >= 0 then begin
+          keep.(!edge) <- true;
+          incr inter
+        end
+      end
+    done;
+    Rounds.charge ~label:"cl-ultra:step" rounds
+      ((2 * Network_decomposition.rounds_bound g / 8) + (10 * t) + 4);
+    Pram.charge ~label:"cl-ultra:step" pram
+      ~work:((4 * Graph.m g) + n)
+      ~depth:(!max_diam + (4 * t) + 1
+              + int_of_float (Float.log2 (float_of_int (n + 2))));
+    steps :=
+      {
+        step = !step_no;
+        active_before;
+        clustered = active_before - !remaining;
+        clusters_formed = List.length new_ids;
+        bad_clusters = !bad;
+        inter_edges_added = !inter;
+        max_cut_distance = !max_cut;
+        xi_avg;
+      }
+      :: !steps
+  done;
+  {
+    spanner = { Spanner.keep; rounds };
+    steps = List.rev !steps;
+    max_tree_diameter = !max_diam;
+    pram;
+  }
+
+let sparse_weighted ~epsilon g =
+  if Graph.is_unit_weighted g then (sparse g).spanner
+  else
+    (Weighted_reduction.run
+       ~unweighted:(fun u -> (sparse u).spanner)
+       ~epsilon g)
+      .Weighted_reduction.spanner

@@ -1,0 +1,56 @@
+open! Import
+
+(** Spanners from low-diameter clusterings (Section 5, Appendix F).
+
+    Two constructions for unweighted graphs:
+
+    - {!sparse} (Theorem 1.7): O(log n) steps; each step clusters at least
+      half of the remaining vertices with a 3-separated weak-diameter
+      clustering, adds the cluster Steiner trees, and for each still
+      unclustered vertex one edge into its (unique) neighbouring new
+      cluster.  Size O(ξ_AVG·n), stretch O(D).
+
+    - {!ultra_sparse} (Theorem F.1, Lemma F.2, Figure 1): like {!sparse},
+      but each step starts from a 10t-separated clustering and grows each
+      cluster to its smallest {e good cutting distance} — the first radius
+      increment j < 4t at which the cluster's frontier holds at most
+      |C|/t vertices — so that the total number of inter-cluster witness
+      edges stays below n/t.  Clusters that never reach a good cutting
+      distance are "bad" and dissolve back (at most ~1/5 of the step's
+      vertices, so the unclustered count still decays geometrically).
+
+    Both consume {!Ultraspan_decomp.Separated_clustering}; see DESIGN.md §3
+    for the weak-vs-strong diameter substitution. *)
+
+type step_info = {
+  step : int;
+  active_before : int;
+  clustered : int;  (** vertices that ended in final clusters this step *)
+  clusters_formed : int;
+  bad_clusters : int;  (** only for {!ultra_sparse} *)
+  inter_edges_added : int;
+  max_cut_distance : int;  (** largest good cutting distance used *)
+  xi_avg : float;  (** Steiner-tree overlap of this step's clustering *)
+}
+
+type outcome = {
+  spanner : Spanner.t;
+  steps : step_info list;
+  max_tree_diameter : int;  (** measured bound on the stretch driver *)
+  pram : Pram.t;
+      (** PRAM work/depth ledger (Theorem 1.7's third bullet): each step
+          charges O(m) work and O(D + log n) depth *)
+}
+
+val sparse : ?separation:int -> Graph.t -> outcome
+(** Theorem 1.7.  [separation] defaults to 3.  Unweighted input. *)
+
+val ultra_sparse : t:int -> Graph.t -> outcome
+(** Theorem F.1 / Lemma F.2.  Requires [t >= 1].  Unweighted input. *)
+
+val sparse_weighted : epsilon:float -> Graph.t -> Spanner.t
+(** Theorem 1.8's sparse step: the folklore weight-class reduction over
+    {!sparse} — an O(n·log n·log(U+1))-edge spanner of a weighted graph
+    with stretch O((1+ε)·D), work-efficient (no conditional expectations).
+    Feed it to {!Ultra_sparse.run} via [~sparse] to complete Theorem 1.8.
+    Unweighted inputs skip the reduction. *)

@@ -1,0 +1,73 @@
+open! Import
+
+type outcome = { spanner : Spanner.t; max_table : int }
+
+let run ~rng ~k g =
+  if k < 1 then invalid_arg "Elkin_neiman.run: k >= 1";
+  if not (Graph.is_unit_weighted g) then
+    invalid_arg "Elkin_neiman.run: unweighted graphs only";
+  let n = Graph.n g in
+  if n = 0 then { spanner = Spanner.empty g; max_table = 0 }
+  else begin
+    let beta = log (float_of_int (max 2 n)) /. float_of_int k in
+    let kf = float_of_int k in
+    let shift () =
+      let x = -.log (Float.max 1e-300 (Rng.float rng 1.0)) /. beta in
+      Float.min x (kf -. 0.5)
+    in
+    let r = Array.init n (fun _ -> shift ()) in
+    (* table.(v): u -> r_u - d(u,v), for the candidates surviving the
+       "within 1 of the maximum" pruning rule. *)
+    let table = Array.init n (fun v -> [ (v, r.(v)) ]) in
+    let max_table = ref 1 in
+    let prune entries =
+      let best = List.fold_left (fun a (_, x) -> Float.max a x) neg_infinity entries in
+      List.filter (fun (_, x) -> x >= best -. 1.0) entries
+    in
+    (* Values must travel d(u,v) <= r_u + 1 < k + 1 hops, so k rounds. *)
+    for _round = 1 to k do
+      let next = Array.make n [] in
+      for v = 0 to n - 1 do
+        (* Merge own table with neighbours' decremented tables. *)
+        let merged = Hashtbl.create 8 in
+        let absorb (u, x) =
+          match Hashtbl.find_opt merged u with
+          | Some y when y >= x -> ()
+          | _ -> Hashtbl.replace merged u x
+        in
+        List.iter absorb table.(v);
+        Graph.iter_adj g v (fun w _ ->
+            List.iter (fun (u, x) -> absorb (u, x -. 1.0)) table.(w));
+        let entries = Hashtbl.fold (fun u x acc -> (u, x) :: acc) merged [] in
+        (* Keep values down to -1: the broadcast travels one hop past the
+           ball radius, and the within-1-of-max rule can select them. *)
+        let entries = prune (List.filter (fun (_, x) -> x >= -1.0) entries) in
+        next.(v) <- List.sort compare entries;
+        if List.length entries > !max_table then
+          max_table := List.length entries
+      done;
+      Array.blit next 0 table 0 n
+    done;
+    (* Edge rule: for each candidate u of v (u <> v), keep one edge toward
+       a neighbour w whose value for u exceeds v's by exactly 1. *)
+    let keep = Array.make (Graph.m g) false in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (u, x) ->
+          if u <> v then begin
+            let chosen = ref (-1) in
+            Graph.iter_adj g v (fun w eid ->
+                if !chosen = -1 then
+                  match List.assoc_opt u table.(w) with
+                  | Some y when y >= x +. 1.0 -. 1e-9 -> chosen := eid
+                  | _ -> ())
+            (* u may be v's own neighbour: the direct edge qualifies since
+               table.(u) contains (u, r_u). *);
+            if !chosen >= 0 then keep.(!chosen) <- true
+          end)
+        table.(v)
+    done;
+    let rounds = Rounds.create () in
+    Rounds.charge ~label:"en:broadcast" rounds (k * !max_table);
+    ({ spanner = { Spanner.keep; rounds }; max_table = !max_table } : outcome)
+  end

@@ -1,0 +1,22 @@
+open! Import
+
+(** The Elkin–Neiman randomized (2k-1)-spanner [EN18] for unweighted
+    graphs — Table 1's second baseline.
+
+    Every vertex draws a shift r_u ~ Exp(ln n / k), truncated below k (the
+    paper resamples / accepts an ε failure probability; truncation keeps
+    the k-round structure deterministic).  Vertices then learn, over k
+    synchronous rounds, the set C(v) = {u : r_u − d(u,v) >= m(v) − 1} where
+    m(v) = max_u (r_u − d(u,v)), and add one edge toward each member of
+    C(v) along a shortest path.  Expected size O(n^(1+1/k)) with constant
+    probability; stretch <= 2k−1. *)
+
+type outcome = {
+  spanner : Spanner.t;
+  max_table : int;  (** largest per-vertex candidate table over the run —
+                        the CONGEST congestion this run would incur *)
+}
+
+val run : rng:Rng.t -> k:int -> Graph.t -> outcome
+(** Requires an unweighted graph ([Invalid_argument] otherwise) and
+    [k >= 1]. *)

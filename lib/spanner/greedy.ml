@@ -1,0 +1,43 @@
+open! Import
+
+let run ~k g =
+  if k < 1 then invalid_arg "Greedy.run: k >= 1";
+  let m = Graph.m g in
+  let order = Array.init m (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare (Graph.weight g a) (Graph.weight g b) in
+      if c <> 0 then c else compare a b)
+    order;
+  let keep = Array.make m false in
+  let alpha = (2 * k) - 1 in
+  Array.iter
+    (fun eid ->
+      let u, v = Graph.endpoints g eid in
+      let w = Graph.weight g eid in
+      let d = Dijkstra.distance ~allow:(fun e -> keep.(e)) g u v in
+      if d = Dijkstra.infinity || d > alpha * w then keep.(eid) <- true)
+    order;
+  (* Rounds: the greedy algorithm is sequential; charge the trivial
+     simulation bound of one round per edge decision (it is a baseline,
+     not a distributed algorithm). *)
+  let rounds = Rounds.create () in
+  Rounds.charge ~label:"greedy:sequential" rounds m;
+  { Spanner.keep; rounds }
+
+let girth_exceeds g keep c =
+  (* For every kept edge, removing it must leave the endpoints at hop
+     distance >= c - 1 in the kept subgraph (otherwise a short cycle
+     exists). *)
+  let ok = ref true in
+  Array.iteri
+    (fun eid kept ->
+      if kept && !ok then begin
+        let u, v = Graph.endpoints g eid in
+        let dist =
+          Bfs.distances ~allow:(fun e -> keep.(e) && e <> eid) g u
+        in
+        if dist.(v) <> -1 && dist.(v) + 1 <= c then ok := false
+      end)
+    keep;
+  !ok

@@ -1,0 +1,20 @@
+open! Import
+
+(** The classic greedy (2k-1)-spanner of Althöfer et al. [ADD+93] — the
+    centralized baseline against which the distributed constructions are
+    compared.
+
+    Edges are scanned in non-decreasing weight order; an edge (u,v,w) is
+    kept iff the current spanner has d(u,v) > (2k-1)·w.  The output has
+    girth > 2k, hence at most O(n^(1+1/k)) edges unconditionally, and its
+    size is the best known for the stretch — but the algorithm is
+    inherently sequential (each decision depends on all previous ones). *)
+
+val run : k:int -> Graph.t -> Spanner.t
+(** Exact greedy; point-to-point Dijkstra per edge, so O(m·(m + n log n)).
+    Fine up to a few thousand vertices. *)
+
+val girth_exceeds : Graph.t -> bool array -> int -> bool
+(** [girth_exceeds g keep c]: the kept subgraph has no cycle of length
+    <= c (hop count).  The defining property of greedy unweighted
+    (2k-1)-spanners with c = 2k; used by the tests. *)

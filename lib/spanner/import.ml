@@ -1,0 +1,19 @@
+(** Short aliases for the substrate libraries (opened by every module of
+    this library). *)
+
+module Graph = Ultraspan_graph.Graph
+module Bfs = Ultraspan_graph.Bfs
+module Dijkstra = Ultraspan_graph.Dijkstra
+module Partition = Ultraspan_graph.Partition
+module Contraction = Ultraspan_graph.Contraction
+module Connectivity = Ultraspan_graph.Connectivity
+module Spanning_tree = Ultraspan_graph.Spanning_tree
+module Stretch_check = Ultraspan_graph.Stretch
+module Generators = Ultraspan_graph.Generators
+module Rounds = Ultraspan_congest.Rounds
+module Coloring = Ultraspan_decomp.Coloring
+module Network_decomposition = Ultraspan_decomp.Network_decomposition
+module Separated_clustering = Ultraspan_decomp.Separated_clustering
+module Util = Ultraspan_util
+module Rng = Ultraspan_util.Rng
+module Pram = Ultraspan_congest.Pram

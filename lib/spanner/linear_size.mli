@@ -1,0 +1,44 @@
+open! Import
+
+(** Linear-size spanners (Theorem 1.5; Appendix D).
+
+    O(log* n) phases; phase i runs g_i Baswana–Sen iterations with sampling
+    probability 1/x_i on the current cluster graph, then contracts the
+    surviving clusters into the next phase's cluster graph (dead edges are
+    dropped — their stretch is already certified by Lemma 3.1).  The
+    iterated-logarithm schedule x_1, ..., x_P follows Appendix D with
+    α₀ = 3 and the practical clamps documented in {!schedule}; the last
+    phase is extended (if needed) so that the deterministic cluster-count
+    guarantee of Lemma 3.3 forces every vertex to die, which is what
+    certifies the final stretch.
+
+    With [`Deterministic] sampling this is the paper's contribution
+    (O(n) edges, stretch O(log n · 2^(log* n)) unweighted /
+    O(log n · 4^(log* n)) weighted, polylog rounds); with [`Randomized]
+    sampling it stands in for Pettie's randomized construction [Pet10]
+    (Table 1's baseline). *)
+
+type variant = Deterministic | Randomized of Rng.t
+
+type phase_info = {
+  phase : int;
+  nodes : int;  (** cluster-graph size at phase start *)
+  edges : int;
+  x : float;
+  g_iters : int;
+  radius_bound : int;  (** bound on cluster radii in G entering this phase *)
+}
+
+type outcome = {
+  spanner : Spanner.t;
+  phases : phase_info list;
+  stretch_bound : float;  (** s₁ = Π (2·g_i + 1) *)
+}
+
+val schedule : weighted:bool -> int -> (float * int) list
+(** [(x_i, g_i)] pairs for a graph of the given size.  Exposed for tests:
+    the x_i grow (roughly) as an exponential tower and Σ 1/x_i = O(1). *)
+
+val run : ?variant:variant -> Graph.t -> outcome
+(** Compute a sparse spanner with O(n) edges.  Weighted mode is detected
+    from the graph.  [variant] defaults to [Deterministic]. *)

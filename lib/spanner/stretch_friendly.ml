@@ -1,0 +1,260 @@
+open! Import
+
+type info = { iterations : int; cv_iterations : int; rounds : Rounds.t }
+
+type merge_strategy = Matched | Naive_star
+
+(* Re-root the tree of one cluster at [new_root]: reverse the parent
+   pointers along the path from [new_root] to the old root. *)
+let reroot parent parent_eid new_root =
+  let rec go v prev prev_eid =
+    let next = parent.(v) in
+    let next_eid = parent_eid.(v) in
+    parent.(v) <- prev;
+    parent_eid.(v) <- prev_eid;
+    if next <> -1 then go next v next_eid
+  in
+  go new_root (-1) (-1)
+
+let partition_with_strategy ~strategy ~t g =
+  if t < 1 then invalid_arg "Stretch_friendly.partition: t >= 1";
+  let n = Graph.n g in
+  let rounds = Rounds.create () in
+  let cluster_of = Array.init n (fun v -> v) in
+  let parent = Array.make n (-1) in
+  let parent_eid = Array.make n (-1) in
+  let roots = ref (Array.init n (fun v -> v)) in
+  let cv_total = ref 0 in
+  let iterations =
+    if t = 1 then 0
+    else int_of_float (ceil (Float.log2 (float_of_int t)))
+  in
+  for i = 1 to iterations do
+    let nc = Array.length !roots in
+    (* (1) sizes *)
+    let size = Array.make nc 0 in
+    Array.iter (fun c -> size.(c) <- size.(c) + 1) cluster_of;
+    (* (2) minimum boundary edge per cluster, oriented out *)
+    let best : (int * int) array = Array.make nc (max_int, max_int) in
+    Graph.iter_edges g (fun e ->
+        let cu = cluster_of.(e.Graph.u) and cv = cluster_of.(e.Graph.v) in
+        if cu <> cv then begin
+          let key = (e.Graph.w, e.Graph.id) in
+          if key < best.(cu) then best.(cu) <- key;
+          if key < best.(cv) then best.(cv) <- key
+        end);
+    let succ = Array.make nc (-1) in
+    let out_eid = Array.make nc (-1) in
+    for c = 0 to nc - 1 do
+      let _, eid = best.(c) in
+      if eid <> max_int then begin
+        out_eid.(c) <- eid;
+        let u, v = Graph.endpoints g eid in
+        succ.(c) <- (if cluster_of.(u) = c then cluster_of.(v) else cluster_of.(u))
+      end
+    done;
+    (* (3) 3-colouring of the pointer graph *)
+    let coloring = Coloring.three_color ~n:nc ~succ in
+    cv_total := !cv_total + coloring.Coloring.iterations;
+    let colors = coloring.Coloring.colors in
+    let threshold = 1 lsl i in
+    let small c = size.(c) < threshold && succ.(c) >= 0 in
+    (* (4) maximal matching between small clusters along pointer edges,
+       one colour class at a time (proposer and target always differ in
+       colour since the colouring is proper on pointer edges). *)
+    let mate = Array.make nc (-1) in
+    (match strategy with
+    | Naive_star -> ()
+    | Matched ->
+        for q = 0 to 2 do
+          let proposals = Array.make nc [] in
+          for c = 0 to nc - 1 do
+            if colors.(c) = q && small c && mate.(c) = -1 then begin
+              let d = succ.(c) in
+              if small d && mate.(d) = -1 then proposals.(d) <- c :: proposals.(d)
+            end
+          done;
+          for d = 0 to nc - 1 do
+            if mate.(d) = -1 then begin
+              match List.sort compare proposals.(d) with
+              | [] -> ()
+              | c :: _ ->
+                  mate.(d) <- c;
+                  mate.(c) <- d
+            end
+          done
+        done);
+    (* (5) merge.  new_of.(c): the new cluster id of old cluster c.  Merge
+       targets: matched pairs take the pointer target's root; large (or
+       exempt) clusters stand alone; remaining small clusters follow their
+       pointer (in the Matched strategy the target is immediately a
+       standing cluster; in Naive_star pointers may chain, so we resolve
+       them to their sink). *)
+    let new_of = Array.make nc (-1) in
+    (* merge_src.(c): cluster c merges along its own pointer edge, so its
+       tree is re-rooted at its endpoint and hung off the other side. *)
+    let merge_src = Array.make nc false in
+    let new_roots = ref [] in
+    let n_new = ref 0 in
+    let fresh root =
+      let id = !n_new in
+      incr n_new;
+      new_roots := root :: !new_roots;
+      id
+    in
+    (* Standing clusters: large/exempt ones stand alone. *)
+    for c = 0 to nc - 1 do
+      if not (small c) then new_of.(c) <- fresh !roots.(c)
+    done;
+    (* Matched pairs: the proposer side (first in id order for mutual
+       pointers) merges along its edge; the pair is rooted at the target's
+       root. *)
+    for c = 0 to nc - 1 do
+      if small c && mate.(c) >= 0 && succ.(c) = mate.(c) && new_of.(c) = -1
+         && new_of.(mate.(c)) = -1
+      then begin
+        let d = mate.(c) in
+        let id = fresh !roots.(d) in
+        new_of.(c) <- id;
+        new_of.(d) <- id;
+        merge_src.(c) <- true
+      end
+    done;
+    (* Naive_star has no matching, so mutual small 2-cycles must still be
+       collapsed into standing pairs to give the pointer chains a sink. *)
+    (match strategy with
+    | Matched -> ()
+    | Naive_star ->
+        for c = 0 to nc - 1 do
+          if
+            small c && new_of.(c) = -1 && succ.(c) >= 0
+            && succ.(c) < nc && small succ.(c)
+            && succ.(succ.(c)) = c
+            && new_of.(succ.(c)) = -1
+            && c < succ.(c)
+          then begin
+            let d = succ.(c) in
+            let id = fresh !roots.(d) in
+            new_of.(c) <- id;
+            new_of.(d) <- id;
+            merge_src.(c) <- true
+          end
+        done);
+    (* Remaining small clusters follow pointers to a standing cluster. *)
+    let rec resolve c =
+      if new_of.(c) >= 0 then new_of.(c)
+      else begin
+        merge_src.(c) <- true;
+        (match strategy with
+        | Matched ->
+            (* Maximality of the matching: the target already stands. *)
+            assert (new_of.(succ.(c)) >= 0)
+        | Naive_star -> ());
+        let id = resolve succ.(c) in
+        new_of.(c) <- id;
+        id
+      end
+    in
+    for c = 0 to nc - 1 do
+      if new_of.(c) = -1 then ignore (resolve c)
+    done;
+    (* Tree surgery. *)
+    for c = 0 to nc - 1 do
+      if merge_src.(c) then begin
+        let eid = out_eid.(c) in
+        let u, v = Graph.endpoints g eid in
+        let mine, theirs = if cluster_of.(u) = c then (u, v) else (v, u) in
+        reroot parent parent_eid mine;
+        parent.(mine) <- theirs;
+        parent_eid.(mine) <- eid
+      end
+    done;
+    (* Commit the new clustering. *)
+    for v = 0 to n - 1 do
+      cluster_of.(v) <- new_of.(cluster_of.(v))
+    done;
+    roots := Array.of_list (List.rev !new_roots);
+    Rounds.charge ~label:"sf:iteration" rounds
+      ((2 * 3 * (1 lsl i)) + (coloring.Coloring.iterations + 6));
+    ignore coloring
+  done;
+  let p =
+    {
+      Partition.g;
+      cluster_of;
+      parent;
+      parent_eid;
+      roots = !roots;
+    }
+  in
+  (p, { iterations; cv_iterations = !cv_total; rounds })
+
+let partition ~t g = partition_with_strategy ~strategy:Matched ~t g
+
+(* Definition 3.4, checked exactly.  For each cluster, walk every vertex's
+   tree path computing the maximum edge weight from the root down
+   (max_to_root); then:
+   - boundary edge {u∉C, v∈C} of weight w: max_to_root v <= w;
+   - inside edge {u,v∈C} of weight w: max weight on the tree path u..v
+     <= w, computed via the max-to-LCA trick using depths. *)
+let is_stretch_friendly_subset g (p : Partition.t) ~consider =
+  let n = Graph.n g in
+  let depth = Partition.depths p in
+  let max_up = Array.make n 0 in
+  (* max edge weight on the path from v to the root *)
+  let computed = Array.make n false in
+  let rec fill v =
+    if not computed.(v) then begin
+      computed.(v) <- true;
+      if p.Partition.parent.(v) <> -1 then begin
+        fill p.Partition.parent.(v);
+        max_up.(v) <-
+          max
+            (Graph.weight g p.Partition.parent_eid.(v))
+            max_up.(p.Partition.parent.(v))
+      end
+    end
+  in
+  for v = 0 to n - 1 do
+    if p.Partition.cluster_of.(v) >= 0 then fill v
+  done;
+  let path_max u v =
+    (* max edge weight on the tree path between u and v (same cluster) *)
+    let rec go u v acc =
+      if u = v then acc
+      else if depth.(u) >= depth.(v) then
+        go p.Partition.parent.(u) v
+          (max acc (Graph.weight g p.Partition.parent_eid.(u)))
+      else
+        go u p.Partition.parent.(v)
+          (max acc (Graph.weight g p.Partition.parent_eid.(v)))
+    in
+    go u v 0
+  in
+  let ok = ref true in
+  Graph.iter_edges g (fun e ->
+      if consider e.Graph.id then begin
+      let cu = p.Partition.cluster_of.(e.Graph.u)
+      and cv = p.Partition.cluster_of.(e.Graph.v) in
+      if cu >= 0 && cv >= 0 && cu = cv then begin
+        (* inside edge *)
+        if path_max e.Graph.u e.Graph.v > e.Graph.w then ok := false
+      end
+      else begin
+        (* boundary edge of each clustered side *)
+        if cu >= 0 && max_up.(e.Graph.u) > e.Graph.w then ok := false;
+        if cv >= 0 && max_up.(e.Graph.v) > e.Graph.w then ok := false
+      end
+      end);
+  !ok
+
+let is_stretch_friendly g p =
+  is_stretch_friendly_subset g p ~consider:(fun _ -> true)
+
+let is_stretch_friendly_alive g state =
+  let p = Bs_core.partition state in
+  is_stretch_friendly_subset g p ~consider:(fun eid ->
+      Bs_core.edge_alive state eid
+      &&
+      let u, v = Graph.endpoints g eid in
+      Bs_core.vertex_alive state u && Bs_core.vertex_alive state v)

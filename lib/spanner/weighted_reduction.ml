@@ -1,0 +1,37 @@
+open! Import
+
+type outcome = { spanner : Spanner.t; classes : int }
+
+let run ~unweighted ~epsilon g =
+  if epsilon <= 0.0 then invalid_arg "Weighted_reduction.run: epsilon > 0";
+  let m = Graph.m g in
+  let base = 1.0 +. epsilon in
+  let class_of w =
+    if w <= 0 then invalid_arg "Weighted_reduction.run: weights must be positive";
+    int_of_float (Float.floor (log (float_of_int w) /. log base))
+  in
+  (* Group edge ids per weight class. *)
+  let buckets = Hashtbl.create 16 in
+  Graph.iter_edges g (fun e ->
+      let c = class_of e.Graph.w in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt buckets c) in
+      Hashtbl.replace buckets c (e.Graph.id :: cur));
+  let classes = List.sort compare (Hashtbl.fold (fun c _ l -> c :: l) buckets []) in
+  let keep = Array.make m false in
+  let rounds = Rounds.create () in
+  List.iter
+    (fun c ->
+      let eids = Hashtbl.find buckets c in
+      let mask = Array.make m false in
+      List.iter (fun id -> mask.(id) <- true) eids;
+      let sub, mapping = Graph.sub_with_mapping g mask in
+      let sub = Graph.with_unit_weights sub in
+      let sp = unweighted sub in
+      (* classes run one after the other on a cluster graph (Theorem 1.8's
+         remark), so round accounts add up *)
+      Rounds.merge_into rounds sp.Spanner.rounds;
+      Array.iteri
+        (fun sub_eid kept -> if kept then keep.(mapping.(sub_eid)) <- true)
+        sp.Spanner.keep)
+    classes;
+  { spanner = { Spanner.keep; rounds }; classes = List.length classes }

@@ -1,0 +1,22 @@
+open! Import
+
+(** Folklore reduction from weighted to unweighted spanners (Section 1.1).
+
+    Round each weight up to the next power of (1+ε), split the edges into
+    weight classes, run an unweighted spanner algorithm per class, and take
+    the union.  Stretch grows by (1+ε); the edge count multiplies by the
+    number of classes O(log_{1+ε} U) — which is exactly why the paper's
+    direct weighted constructions matter (the bench's T3 experiment shows
+    the gap). *)
+
+type outcome = {
+  spanner : Spanner.t;
+  classes : int;  (** number of non-empty weight classes *)
+}
+
+val run :
+  unweighted:(Graph.t -> Spanner.t) ->
+  epsilon:float ->
+  Graph.t ->
+  outcome
+(** Requires [epsilon > 0] and positive weights. *)

@@ -1,0 +1,49 @@
+type t = { bytes : Bytes.t; n : int }
+
+let create n = { bytes = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bytes (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.unsafe_get t.bytes (i lsr 3)) in
+  Bytes.unsafe_set t.bytes (i lsr 3) (Char.unsafe_chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.unsafe_get t.bytes (i lsr 3)) in
+  Bytes.unsafe_set t.bytes (i lsr 3)
+    (Char.unsafe_chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let clear t = Bytes.fill t.bytes 0 (Bytes.length t.bytes) '\000'
+
+let popcount_byte b =
+  let b = b - ((b lsr 1) land 0x55) in
+  let b = (b land 0x33) + ((b lsr 2) land 0x33) in
+  (b + (b lsr 4)) land 0x0f
+
+let cardinal t =
+  let total = ref 0 in
+  for i = 0 to Bytes.length t.bytes - 1 do
+    total := !total + popcount_byte (Char.code (Bytes.unsafe_get t.bytes i))
+  done;
+  !total
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])

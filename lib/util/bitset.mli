@@ -1,0 +1,31 @@
+(** Compact fixed-capacity bitsets over [0 .. n-1].
+
+    Backed by a [Bytes.t]; used for visited marks and frontier sets in the
+    graph traversals where a [bool array] would double memory traffic. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Empty the set. *)
+
+val cardinal : t -> int
+(** Number of members.  O(n/8). *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Members in increasing order. *)

@@ -1,0 +1,32 @@
+(** Imperative binary min-heap priority queue.
+
+    Used by Dijkstra, Prim and the clustering growers.  Priorities are
+    compared with a user-supplied total order fixed at creation time; ties
+    are broken arbitrarily (but deterministically for a fixed insertion
+    sequence, which keeps the whole library reproducible). *)
+
+type ('p, 'a) t
+(** A queue of values of type ['a] keyed by priorities of type ['p]. *)
+
+val create : ?capacity:int -> cmp:('p -> 'p -> int) -> unit -> ('p, 'a) t
+(** Fresh empty queue.  [cmp] must be a total order; the minimum element
+    under [cmp] is served first. *)
+
+val length : ('p, 'a) t -> int
+
+val is_empty : ('p, 'a) t -> bool
+
+val push : ('p, 'a) t -> 'p -> 'a -> unit
+(** Insert a value with the given priority.  O(log n). *)
+
+val peek : ('p, 'a) t -> ('p * 'a) option
+(** Minimum element, without removing it.  O(1). *)
+
+val pop : ('p, 'a) t -> ('p * 'a) option
+(** Remove and return the minimum element.  O(log n). *)
+
+val pop_exn : ('p, 'a) t -> 'p * 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty queue. *)
+
+val clear : ('p, 'a) t -> unit
+(** Remove all elements, keeping the allocated storage. *)

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable PRNG (SplitMix64).  Every randomized algorithm
+    in the library threads an explicit [Rng.t] so that runs are reproducible
+    bit-for-bit from a seed; nothing in the library touches the global
+    [Stdlib.Random] state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Equal seeds give
+    equal streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    (practically) independent of the remainder of [t]'s stream.  Used to give
+    sub-computations their own generators without sharing state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** Next 30 uniform bits, as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

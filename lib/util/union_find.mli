@@ -1,0 +1,24 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    The workhorse behind spanning forests, Kruskal, Borůvka rounds, and the
+    connectivity checks used throughout the test-suite. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets.  Returns [true] iff they were previously distinct. *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements are in the same set. *)
+
+val count : t -> int
+(** Number of distinct sets currently. *)
+
+val size_of : t -> int -> int
+(** Number of elements in the set containing the given element. *)

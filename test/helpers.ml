@@ -1,0 +1,27 @@
+(* Shared helpers for the test-suite. *)
+
+open Ultraspan
+
+let qcheck ?(count = 30) name gen law =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen law)
+
+(* A reproducible random connected weighted graph keyed by a seed. *)
+let graph_of_seed ?(n_max = 120) ?(max_w = 100) seed =
+  let rng = Rng.create (succ (abs seed)) in
+  let n = 5 + Rng.int rng (n_max - 5) in
+  let avg_degree = 2.0 +. Rng.float rng 8.0 in
+  Generators.weighted_connected_gnp ~rng ~n ~avg_degree ~max_w
+
+let unit_graph_of_seed ?(n_max = 120) seed =
+  Graph.with_unit_weights (graph_of_seed ~n_max seed)
+
+let seed_gen = QCheck2.Gen.int_bound 1_000_000
+
+let check_ok name = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let case name f = Alcotest.test_case name `Quick f
+
+let slow_case name f = Alcotest.test_case name `Slow f

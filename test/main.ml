@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "ultraspan"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("congest", Test_congest.suite);
+      ("decomp", Test_decomp.suite);
+      ("spanner", Test_spanner.suite);
+      ("certificate", Test_certificate.suite);
+      ("extensions", Test_extensions.suite);
+      ("misc", Test_misc.suite);
+      ("integration", Test_integration.suite);
+    ]

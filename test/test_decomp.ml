@@ -1,0 +1,201 @@
+open Ultraspan
+open Helpers
+
+(* ---------- Cole–Vishkin colouring ---------- *)
+
+let random_pointer_graph rng n =
+  (* out-degree <= 1 with only 2-cycles: build a random forest, orient
+     child -> parent, then root some mutual pairs *)
+  let succ = Array.make n (-1) in
+  for v = 1 to n - 1 do
+    if Rng.bernoulli rng 0.9 then succ.(v) <- Rng.int rng v
+  done;
+  (* turn a few roots into mutual pairs *)
+  if n >= 2 && Rng.bool rng then succ.(0) <- 1;
+  succ
+
+let cv_proper =
+  qcheck "cole-vishkin gives proper 3-colouring" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 300 in
+      let succ = random_pointer_graph rng n in
+      let r = Coloring.three_color ~n ~succ in
+      Coloring.is_proper ~n ~succ r.Coloring.colors
+      && Array.for_all (fun c -> c >= 0 && c <= 2) r.Coloring.colors)
+
+let cv_iterations_log_star =
+  qcheck "cole-vishkin iterations are O(log* n)" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 1000 in
+      let succ = random_pointer_graph rng n in
+      let r = Coloring.three_color ~n ~succ in
+      r.Coloring.iterations <= Coloring.log_star n + 4)
+
+let cv_long_path () =
+  let n = 5000 in
+  let succ = Array.init n (fun v -> if v = 0 then -1 else v - 1) in
+  let r = Coloring.three_color ~n ~succ in
+  Alcotest.(check bool) "proper" true (Coloring.is_proper ~n ~succ r.Coloring.colors);
+  Alcotest.(check bool) "fast" true (r.Coloring.iterations <= 8)
+
+let cv_mutual_pair () =
+  let succ = [| 1; 0 |] in
+  let r = Coloring.three_color ~n:2 ~succ in
+  Alcotest.(check bool) "pair coloured differently" true
+    (r.Coloring.colors.(0) <> r.Coloring.colors.(1))
+
+let cv_rejects_long_cycle () =
+  let succ = [| 1; 2; 0 |] in
+  Alcotest.check_raises "3-cycle rejected"
+    (Invalid_argument "Coloring.three_color: pointer cycle longer than 2")
+    (fun () -> ignore (Coloring.three_color ~n:3 ~succ))
+
+let log_star_values () =
+  Alcotest.(check int) "log* 2" 1 (Coloring.log_star 2);
+  Alcotest.(check int) "log* 16" 3 (Coloring.log_star 16);
+  Alcotest.(check int) "log* 65536" 4 (Coloring.log_star 65536)
+
+(* ---------- network decomposition ---------- *)
+
+let nd_validates =
+  qcheck ~count:20 "network decomposition validates" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:80 seed in
+      let nd = Network_decomposition.decompose ~separation:2 g in
+      Network_decomposition.validate g ~separation:2 nd = Ok ())
+
+let nd_separation3_validates =
+  qcheck ~count:15 "separation-3 decomposition validates" seed_gen
+    (fun seed ->
+      let g = unit_graph_of_seed ~n_max:60 seed in
+      let nd = Network_decomposition.decompose ~separation:3 g in
+      Network_decomposition.validate g ~separation:3 nd = Ok ())
+
+let nd_color_bound =
+  qcheck "colour count is O(log n)" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:100 seed in
+      let nd = Network_decomposition.decompose g in
+      let bound =
+        2 + int_of_float (Float.log2 (float_of_int (Graph.n g + 2)))
+      in
+      nd.Network_decomposition.n_colors <= bound)
+
+let nd_radius_bound =
+  qcheck "radius is O(separation log n)" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:100 seed in
+      let sep = 3 in
+      let nd = Network_decomposition.decompose ~separation:sep g in
+      let bound =
+        (sep - 1) * (2 + int_of_float (Float.log2 (float_of_int (Graph.n g + 2))))
+      in
+      Network_decomposition.max_cluster_radius nd <= bound)
+
+let nd_structured () =
+  List.iter
+    (fun (name, g, sep) ->
+      let nd = Network_decomposition.decompose ~separation:sep g in
+      check_ok name (Network_decomposition.validate g ~separation:sep nd))
+    [
+      ("path", Generators.path 64, 2);
+      ("cycle", Generators.cycle 33, 3);
+      ("grid", Generators.grid 12 12, 2);
+      ("grid sep3", Generators.grid 10 10, 3);
+      ("complete", Generators.complete 20, 2);
+      ("star", Generators.star 30, 3);
+    ]
+
+let nd_disconnected () =
+  let g = Graph.of_edges ~n:8 [ (0, 1, 1); (2, 3, 1); (4, 5, 1) ] in
+  let nd = Network_decomposition.decompose g in
+  check_ok "disconnected" (Network_decomposition.validate g ~separation:2 nd)
+
+let nd_rejects_separation_one () =
+  Alcotest.check_raises "sep >= 2"
+    (Invalid_argument "Network_decomposition: separation >= 2") (fun () ->
+      ignore (Network_decomposition.decompose ~separation:1 (Generators.path 3)))
+
+(* ---------- separated clusterings ---------- *)
+
+let sc_validates =
+  qcheck ~count:20 "separated clustering validates" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:80 seed in
+      let rng = Rng.create seed in
+      let sep = 1 + Rng.int rng 6 in
+      let c = Separated_clustering.make ~separation:sep g in
+      Separated_clustering.validate ~separation:sep g c = Ok ())
+
+let sc_covers_half =
+  qcheck "separated clustering covers half" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:80 seed in
+      let c = Separated_clustering.make ~separation:5 g in
+      2 * Separated_clustering.covered c >= Graph.n g)
+
+let sc_with_active_mask =
+  qcheck "clustering respects the active mask" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:60 seed in
+      let rng = Rng.create seed in
+      let active = Array.init (Graph.n g) (fun _ -> Rng.bernoulli rng 0.7) in
+      let c = Separated_clustering.make ~active ~separation:3 g in
+      Separated_clustering.validate ~active ~separation:3 g c = Ok ())
+
+let sc_structured () =
+  List.iter
+    (fun (name, g, sep) ->
+      let c = Separated_clustering.make ~separation:sep g in
+      check_ok name (Separated_clustering.validate ~separation:sep g c);
+      Alcotest.(check bool) (name ^ " covers half") true
+        (2 * Separated_clustering.covered c >= Graph.n g))
+    [
+      ("path sep4", Generators.path 50, 4);
+      ("grid sep5", Generators.grid 11 11, 5);
+      ("cycle sep3", Generators.cycle 30, 3);
+      ("torus sep6", Generators.torus 8 8, 6);
+    ]
+
+let sc_overlap_measured () =
+  let g = Generators.grid 10 10 in
+  let c = Separated_clustering.make ~separation:3 g in
+  let xi = Separated_clustering.overlap g c in
+  let avg = Separated_clustering.avg_overlap g c in
+  Alcotest.(check bool) "xi nonneg" true (Array.for_all (fun x -> x >= 0) xi);
+  Alcotest.(check bool) "avg consistent" true
+    (abs_float (avg -. (float_of_int (Array.fold_left ( + ) 0 xi) /. 100.0)) < 1e-9)
+
+(* ---------- ruling sets ---------- *)
+
+let ruling_set_valid =
+  qcheck "greedy ruling set is (alpha, alpha-1)-ruling" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:60 seed in
+      let rng = Rng.create seed in
+      let alpha = 2 + Rng.int rng 3 in
+      let rs = Ruling_set.greedy g ~alpha in
+      Ruling_set.is_ruling g ~alpha ~beta:(alpha - 1) rs)
+
+let ruling_set_path () =
+  let g = Generators.path 20 in
+  let rs = Ruling_set.greedy g ~alpha:3 in
+  Alcotest.(check bool) "valid" true (Ruling_set.is_ruling g ~alpha:3 ~beta:2 rs);
+  Alcotest.(check bool) "packing tight on path" true (List.length rs >= 6)
+
+let suite =
+  [
+    cv_proper;
+    cv_iterations_log_star;
+    case "cv: long path" cv_long_path;
+    case "cv: mutual pair" cv_mutual_pair;
+    case "cv: rejects long cycle" cv_rejects_long_cycle;
+    case "log_star values" log_star_values;
+    nd_validates;
+    nd_separation3_validates;
+    nd_color_bound;
+    nd_radius_bound;
+    case "nd: structured graphs" nd_structured;
+    case "nd: disconnected" nd_disconnected;
+    case "nd: rejects separation 1" nd_rejects_separation_one;
+    sc_validates;
+    sc_covers_half;
+    sc_with_active_mask;
+    case "sc: structured graphs" sc_structured;
+    case "sc: overlap measured" sc_overlap_measured;
+    ruling_set_valid;
+    case "ruling set: path" ruling_set_path;
+  ]

@@ -1,0 +1,165 @@
+open Ultraspan
+open Helpers
+
+(* End-to-end pipelines across library boundaries: the theorem-level
+   behaviour a downstream user relies on. *)
+
+let theorem_1_6_end_to_end () =
+  (* deterministic ultra-sparse spanner on several graph families *)
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun t ->
+          let out = Ultra_sparse.run ~t g in
+          let sp = out.Ultra_sparse.spanner in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s t=%d size" name t)
+            true
+            (Spanner.size sp <= Ultra_sparse.bound ~n:(Graph.n g) ~t);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s t=%d spanning" name t)
+            true (Spanner.is_spanning g sp);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s t=%d stretch finite" name t)
+            true
+            (Stretch.max_edge_stretch g sp.Spanner.keep < Float.infinity))
+        [ 2; 8 ])
+    [
+      ("weighted gnp", graph_of_seed ~n_max:200 1);
+      ("unweighted gnp", unit_graph_of_seed ~n_max:200 2);
+      ( "weighted geometric",
+        let rng = Rng.create 3 in
+        Generators.ensure_connected ~rng
+          (Generators.random_geometric ~rng ~n:150 ~radius:0.15) );
+      ("torus", Generators.torus 12 12);
+    ]
+
+let theorem_1_4_beats_gk18_overhead () =
+  (* The paper's point versus [GK18]: the derandomized size should not
+     carry an extra log n factor.  We check the measured size against the
+     GK18-style bound envelope n^(1+1/k)·k·log2(n) being substantially
+     above our bound envelope. *)
+  let rng = Rng.create 4 in
+  let g = Generators.connected_gnp ~rng ~n:512 ~avg_degree:40.0 in
+  let g = Graph.with_unit_weights g in
+  let k = 3 in
+  let out = Bs_derand.run ~k g in
+  let size = float_of_int (Spanner.size out.Bs_derand.spanner) in
+  let ours = Bs_derand.size_bound ~n:(Graph.n g) ~k ~weighted:false in
+  Alcotest.(check bool) "within our bound" true (size <= ours)
+
+let derand_vs_randomized_same_guarantee () =
+  (* both spanning, both stretch <= 2k-1, on the same graph *)
+  let g = graph_of_seed ~n_max:150 5 in
+  let k = 3 in
+  let rnd = (Baswana_sen.run ~rng:(Rng.create 1) ~k g).Baswana_sen.spanner in
+  let det = (Bs_derand.run ~k g).Bs_derand.spanner in
+  List.iter
+    (fun (name, sp) ->
+      check_ok name (Spanner.validate g sp ~alpha:(float_of_int ((2 * k) - 1))))
+    [ ("randomized", rnd); ("derandomized", det) ]
+
+let theorem_g1_via_theorem_1_6 () =
+  (* the certificate pipeline exercises the whole spanner stack *)
+  let g = Generators.harary ~k:4 ~n:40 in
+  let out = Spanner_packing.run ~k:4 ~epsilon:0.5 g in
+  Alcotest.(check bool) "certificate" true
+    (Certificate.is_certificate g out.Spanner_packing.certificate);
+  Alcotest.(check bool) "size" true
+    (float_of_int (Certificate.size out.Spanner_packing.certificate)
+    <= Spanner_packing.size_bound ~n:40 ~k:4 ~epsilon:0.5 +. 1.0)
+
+let theorem_1_8_pipeline () =
+  (* work-efficient weighted ultra-sparse: weight classes + Thm 1.7 +
+     Thm 1.2 reduction *)
+  let rng = Rng.create 9 in
+  let g =
+    Generators.weighted_connected_gnp ~rng ~n:300 ~avg_degree:8.0 ~max_w:512
+  in
+  let sparse = Clustering_spanner.sparse_weighted ~epsilon:0.5 in
+  let out = Ultra_sparse.run ~sparse ~t:4 g in
+  let sp = out.Ultra_sparse.spanner in
+  Alcotest.(check bool) "size <= n + n/4" true
+    (Spanner.size sp <= Ultra_sparse.bound ~n:(Graph.n g) ~t:4);
+  Alcotest.(check bool) "spanning" true (Spanner.is_spanning g sp);
+  Alcotest.(check bool) "stretch finite" true
+    (Stretch.max_edge_stretch g sp.Spanner.keep < Float.infinity)
+
+let determinism_across_pipeline =
+  qcheck ~count:6 "whole deterministic pipeline reproducible" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~n_max:120 seed in
+      let a = Ultra_sparse.run ~t:4 g in
+      let b = Ultra_sparse.run ~t:4 g in
+      let pa = Spanner_packing.run ~k:2 ~epsilon:0.5 g in
+      let pb = Spanner_packing.run ~k:2 ~epsilon:0.5 g in
+      a.Ultra_sparse.spanner.Spanner.keep = b.Ultra_sparse.spanner.Spanner.keep
+      && pa.Spanner_packing.certificate.Certificate.keep
+         = pb.Spanner_packing.certificate.Certificate.keep)
+
+let disconnected_inputs_everywhere () =
+  let g =
+    Graph.of_edges ~n:12
+      [
+        (0, 1, 3); (1, 2, 1); (2, 0, 2);
+        (3, 4, 5); (4, 5, 1); (5, 6, 2); (6, 3, 4);
+        (7, 8, 1);
+        (* 9,10,11 isolated *)
+      ]
+  in
+  let us = Ultra_sparse.run ~t:2 g in
+  Alcotest.(check bool) "ultra spanning" true
+    (Spanner.is_spanning g us.Ultra_sparse.spanner);
+  let ls = Linear_size.run g in
+  Alcotest.(check bool) "linear spanning" true
+    (Spanner.is_spanning g ls.Linear_size.spanner);
+  let bs = Baswana_sen.run ~rng:(Rng.create 1) ~k:2 g in
+  Alcotest.(check bool) "bs spanning" true
+    (Spanner.is_spanning g bs.Baswana_sen.spanner);
+  let ni = Nagamochi_ibaraki.certificate ~k:2 g in
+  Alcotest.(check bool) "ni spans" true (Connectivity.spans g ni.Certificate.keep)
+
+let rounds_polylog_shape () =
+  (* simulated rounds of the deterministic ultra-sparse spanner grow
+     polylogarithmically-ish: ratio rounds/(t · log^6 n) stays bounded as n
+     doubles *)
+  let measure n =
+    let rng = Rng.create 7 in
+    let g = Generators.weighted_connected_gnp ~rng ~n ~avg_degree:8.0 ~max_w:100 in
+    let out = Ultra_sparse.run ~t:2 g in
+    let l = Float.log2 (float_of_int n) in
+    float_of_int (Spanner.total_rounds out.Ultra_sparse.spanner) /. (l ** 6.0)
+  in
+  let r1 = measure 250 and r2 = measure 1000 in
+  Alcotest.(check bool) "polylog-ish growth" true (r2 <= 16.0 *. Float.max r1 1.0)
+
+let spanner_to_certificate_composition () =
+  (* peeling t-ultra-sparse spanners k times keeps every cut's edges: the
+     Appendix G invariant on a mid-size graph via sampled cuts *)
+  let g = Generators.harary ~k:5 ~n:30 in
+  let out = Spanner_packing.run ~k:5 ~epsilon:0.4 g in
+  let keep = out.Spanner_packing.certificate.Certificate.keep in
+  let rng = Rng.create 13 in
+  for _ = 1 to 200 do
+    let side = Array.init (Graph.n g) (fun _ -> Rng.bool rng) in
+    let in_g = ref 0 and in_h = ref 0 in
+    Graph.iter_edges g (fun e ->
+        if side.(e.Graph.u) <> side.(e.Graph.v) then begin
+          incr in_g;
+          if keep.(e.Graph.id) then incr in_h
+        end);
+    Alcotest.(check bool) "all-or-k" true (!in_h = !in_g || !in_h >= 5)
+  done
+
+let suite =
+  [
+    slow_case "Thm 1.6 end-to-end" theorem_1_6_end_to_end;
+    slow_case "Thm 1.4 size vs GK18 envelope" theorem_1_4_beats_gk18_overhead;
+    case "derand vs randomized guarantee" derand_vs_randomized_same_guarantee;
+    case "Thm G.1 via Thm 1.6" theorem_g1_via_theorem_1_6;
+    slow_case "Thm 1.8 pipeline" theorem_1_8_pipeline;
+    determinism_across_pipeline;
+    case "disconnected inputs" disconnected_inputs_everywhere;
+    slow_case "rounds polylog shape" rounds_polylog_shape;
+    case "Appendix G cut invariant (sampled)" spanner_to_certificate_composition;
+  ]
