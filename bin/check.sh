@@ -1,0 +1,8 @@
+#!/bin/sh
+# CI / pre-commit gate: full build (libs, executables, docs) + test suite.
+# Usage: bin/check.sh  (from anywhere inside the repo)
+set -e
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest
+echo "check: OK"

@@ -1,8 +1,10 @@
 (* ultraspan command-line interface.
 
-   dune exec bin/ultraspan_cli.exe -- generate --family grid --n 100 -o g.txt
-   dune exec bin/ultraspan_cli.exe -- spanner --algo ultra --t 4 -i g.txt
-   dune exec bin/ultraspan_cli.exe -- certificate --algo packing --k 3 -i g.txt
+   dune exec bin/ultraspan_cli.exe -- generate --family grid -n 100 -o g.txt
+   dune exec bin/ultraspan_cli.exe -- spanner --algo ultra -t 4 -i g.txt
+   dune exec bin/ultraspan_cli.exe -- certificate --algo packing -k 3 -i g.txt
+   dune exec bin/ultraspan_cli.exe -- resilience --algo thurimella -k 3 --family harary --degree 3 -n 60
+   dune exec bin/ultraspan_cli.exe -- resilience --spanner bs -k 3 --failures 2 -i g.txt
    dune exec bin/ultraspan_cli.exe -- stats -i g.txt *)
 
 open Ultraspan
@@ -126,29 +128,42 @@ let stats_cmd =
       const stats $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg
       $ seed_arg)
 
+(* ---------- shared algorithm dispatch ---------- *)
+
+let build_spanner ~algo ~k ~t ~seed g =
+  match algo with
+  | "bs" -> (Baswana_sen.run ~rng:(Rng.create seed) ~k g).Baswana_sen.spanner
+  | "bs-derand" -> (Bs_derand.run ~k g).Bs_derand.spanner
+  | "linear" -> (Linear_size.run g).Linear_size.spanner
+  | "linear-random" ->
+      (Linear_size.run ~variant:(Linear_size.Randomized (Rng.create seed)) g)
+        .Linear_size.spanner
+  | "ultra" -> (Ultra_sparse.run ~t g).Ultra_sparse.spanner
+  | "greedy" -> Greedy.run ~k g
+  | "en" -> (Elkin_neiman.run ~rng:(Rng.create seed) ~k g).Elkin_neiman.spanner
+  | "clustering" -> (Clustering_spanner.sparse g).Clustering_spanner.spanner
+  | "clustering-ultra" ->
+      (Clustering_spanner.ultra_sparse ~t g).Clustering_spanner.spanner
+  | a -> failwith ("unknown algorithm: " ^ a)
+
+let build_certificate ~algo ~k ~eps ~seed g =
+  match algo with
+  | "ni" -> Nagamochi_ibaraki.certificate ~k g
+  | "thurimella" -> Thurimella.certificate ~k g
+  | "packing" ->
+      (Spanner_packing.run ~k ~epsilon:eps g).Spanner_packing.certificate
+  | "kecss" -> (Kecss.approximate ~epsilon:eps ~k g).Kecss.certificate
+  | "karger" ->
+      (Karger_split.run ~rng:(Rng.create seed) ~k ~epsilon:eps g)
+        .Karger_split.certificate
+  | a -> failwith ("unknown algorithm: " ^ a)
+
 (* ---------- spanner ---------- *)
 
 let spanner algo k t input family n degree max_w seed output =
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
-  let sp =
-    match algo with
-    | "bs" ->
-        (Baswana_sen.run ~rng:(Rng.create seed) ~k g).Baswana_sen.spanner
-    | "bs-derand" -> (Bs_derand.run ~k g).Bs_derand.spanner
-    | "linear" -> (Linear_size.run g).Linear_size.spanner
-    | "linear-random" ->
-        (Linear_size.run ~variant:(Linear_size.Randomized (Rng.create seed)) g)
-          .Linear_size.spanner
-    | "ultra" -> (Ultra_sparse.run ~t g).Ultra_sparse.spanner
-    | "greedy" -> Greedy.run ~k g
-    | "en" ->
-        (Elkin_neiman.run ~rng:(Rng.create seed) ~k g).Elkin_neiman.spanner
-    | "clustering" -> (Clustering_spanner.sparse g).Clustering_spanner.spanner
-    | "clustering-ultra" ->
-        (Clustering_spanner.ultra_sparse ~t g).Clustering_spanner.spanner
-    | a -> failwith ("unknown algorithm: " ^ a)
-  in
+  let sp = build_spanner ~algo ~k ~t ~seed g in
   Printf.printf "spanner edges   : %d (%.2f per vertex)\n" (Spanner.size sp)
     (float_of_int (Spanner.size sp) /. float_of_int (Graph.n g));
   Printf.printf "spanning        : %b\n" (Spanner.is_spanning g sp);
@@ -184,17 +199,7 @@ let spanner_cmd =
 let certificate algo k eps input family n degree max_w seed output =
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
-  let c =
-    match algo with
-    | "ni" -> Nagamochi_ibaraki.certificate ~k g
-    | "thurimella" -> Thurimella.certificate ~k g
-    | "packing" ->
-        (Spanner_packing.run ~k ~epsilon:eps g).Spanner_packing.certificate
-    | "karger" ->
-        (Karger_split.run ~rng:(Rng.create seed) ~k ~epsilon:eps g)
-          .Karger_split.certificate
-    | a -> failwith ("unknown algorithm: " ^ a)
-  in
+  let c = build_certificate ~algo ~k ~eps ~seed g in
   Printf.printf "certificate edges: %d (%.2f x kn)\n" (Certificate.size c)
     (float_of_int (Certificate.size c) /. float_of_int (k * Graph.n g));
   if Graph.n g <= 500 then begin
@@ -212,7 +217,8 @@ let certificate algo k eps input family n degree max_w seed output =
 let cert_algo_arg =
   Arg.(
     value & opt string "packing"
-    & info [ "algo" ] ~docv:"ALGO" ~doc:"ni | thurimella | packing | karger.")
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"ni | thurimella | packing | kecss | karger.")
 
 let certificate_cmd =
   Cmd.v
@@ -221,6 +227,74 @@ let certificate_cmd =
       const certificate $ cert_algo_arg $ k_arg "Connectivity parameter k."
       $ eps_arg $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg
       $ seed_arg $ output_arg)
+
+(* ---------- resilience ---------- *)
+
+let resilience algo spanner_algo k t eps budget trials failures input family n
+    degree max_w seed =
+  let g = load_graph input family n degree max_w seed in
+  Format.printf "input: %a@." Graph.pp g;
+  match spanner_algo with
+  | Some salgo ->
+      let sp = build_spanner ~algo:salgo ~k ~t ~seed g in
+      let failures = match failures with Some f -> f | None -> max 1 (k - 1) in
+      Printf.printf "spanner %s: %d edges\n" salgo (Spanner.size sp);
+      let r =
+        Resilience.check_spanner ~rng:(Rng.create seed) ~trials ~failures g
+          sp.Spanner.keep
+      in
+      Format.printf "%a@." Resilience.pp_spanner_report r
+  | None ->
+      let c = build_certificate ~algo ~k ~eps ~seed g in
+      Printf.printf "certificate %s: %d edges (k = %d)\n" algo
+        (Certificate.size c) k;
+      let r = Resilience.check_certificate ~rng:(Rng.create seed) ~budget g c in
+      Format.printf "%a@." Resilience.pp_cert_report r;
+      Printf.printf "resilient        : %b\n" (r.Resilience.violations = 0);
+      if r.Resilience.violations > 0 then exit 1
+
+let spanner_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spanner" ] ~docv:"ALGO"
+        ~doc:
+          "Measure stretch degradation of this spanner algorithm under edge \
+           deletions instead of checking a certificate.")
+
+let budget_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "budget" ] ~docv:"B"
+        ~doc:
+          "Failure-set budget: enumerate exhaustively when the count of \
+           sets with at most k-1 edges fits, sample B sets otherwise.")
+
+let trials_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "trials" ] ~docv:"T" ~doc:"Trials for spanner degradation.")
+
+let failures_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "failures" ] ~docv:"F"
+        ~doc:"Edges removed per spanner trial (default k-1).")
+
+let resilience_cmd =
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Evaluate a certificate (or, with --spanner, a spanner) under edge \
+          failures: a k-connectivity certificate must preserve the \
+          components of G - F for every failure set with at most k-1 \
+          edges.  Exits non-zero if a violation is found.")
+    Term.(
+      const resilience $ cert_algo_arg $ spanner_opt_arg
+      $ k_arg "Connectivity / stretch parameter k."
+      $ t_arg $ eps_arg $ budget_arg $ trials_arg $ failures_arg $ input_arg
+      $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg)
 
 (* ---------- main ---------- *)
 
@@ -233,4 +307,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ generate_cmd; stats_cmd; spanner_cmd; certificate_cmd ]))
+       (Cmd.group info
+          [ generate_cmd; stats_cmd; spanner_cmd; certificate_cmd; resilience_cmd ]))

@@ -5,6 +5,7 @@ module Graph = Ultraspan_graph.Graph
 module Bfs = Ultraspan_graph.Bfs
 module Maxflow = Ultraspan_graph.Maxflow
 module Connectivity = Ultraspan_graph.Connectivity
+module Stretch = Ultraspan_graph.Stretch
 module Spanning_tree = Ultraspan_graph.Spanning_tree
 module Rounds = Ultraspan_congest.Rounds
 module Spanner = Ultraspan_spanner.Spanner

@@ -1,0 +1,172 @@
+open! Import
+
+type violation = {
+  failed : int list;
+  components_g : int;
+  components_h : int;
+}
+
+type cert_report = {
+  k : int;
+  trials : int;
+  exhaustive : bool;
+  violations : int;
+  worst : violation option;
+}
+
+(* sum_{s=0}^{upto} C(m, s), saturating at cap + 1. *)
+let count_failure_sets ~m ~upto cap =
+  let total = ref 0 in
+  (try
+     let c = ref 1 in
+     for s = 0 to upto do
+       total := !total + !c;
+       if !total > cap then raise Exit;
+       if s < upto then
+         if m - s > 0 && !c > max_int / (m - s) then raise Exit
+         else c := !c * (m - s) / (s + 1)
+     done
+   with Exit -> total := cap + 1);
+  !total
+
+(* [s] distinct edge ids by rejection; s <= m. *)
+let sample_failure_set rng ~m s =
+  let seen = Hashtbl.create (2 * s) in
+  while Hashtbl.length seen < s do
+    let e = Rng.int rng m in
+    if not (Hashtbl.mem seen e) then Hashtbl.add seen e ()
+  done;
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) seen [])
+
+(* Components of G - F and H - F.  H - F refines G - F (its edges are a
+   subset), so equal component counts mean identical partitions. *)
+let components_under g (c : Certificate.t) failed =
+  let m = Graph.m g in
+  let mask_g = Array.make m true in
+  let mask_h = Array.copy c.Certificate.keep in
+  List.iter
+    (fun e ->
+      mask_g.(e) <- false;
+      mask_h.(e) <- false)
+    failed;
+  let _, cg = Connectivity.components (Graph.sub_by_eids g mask_g) in
+  let _, ch = Connectivity.components (Graph.sub_by_eids g mask_h) in
+  (cg, ch)
+
+let check_certificate ?rng ?(budget = 2000) g (c : Certificate.t) =
+  if budget < 1 then invalid_arg "Resilience.check_certificate: budget >= 1";
+  let m = Graph.m g in
+  let upto = max 0 (c.Certificate.k - 1) in
+  let upto = min upto m in
+  let trials = ref 0 in
+  let violations = ref 0 in
+  let worst = ref None in
+  let try_set failed =
+    incr trials;
+    let cg, ch = components_under g c failed in
+    if ch > cg then begin
+      incr violations;
+      let gap = function
+        | None -> -1
+        | Some v -> v.components_h - v.components_g
+      in
+      if ch - cg > gap !worst then
+        worst := Some { failed; components_g = cg; components_h = ch }
+    end
+  in
+  let total = count_failure_sets ~m ~upto budget in
+  let exhaustive = total <= budget in
+  if exhaustive then begin
+    (* all subsets of size s, for each s <= upto *)
+    let rec combos start chosen s =
+      if s = 0 then try_set (List.rev chosen)
+      else
+        for e = start to m - s do
+          combos (e + 1) (e :: chosen) (s - 1)
+        done
+    in
+    for s = 0 to upto do
+      combos 0 [] s
+    done
+  end
+  else begin
+    let rng = match rng with Some r -> r | None -> Rng.create 1 in
+    try_set [];
+    for _ = 2 to budget do
+      let s = 1 + Rng.int rng upto in
+      try_set (sample_failure_set rng ~m s)
+    done
+  end;
+  {
+    k = c.Certificate.k;
+    trials = !trials;
+    exhaustive;
+    violations = !violations;
+    worst = !worst;
+  }
+
+let is_resilient ?rng ?budget g c =
+  (check_certificate ?rng ?budget g c).violations = 0
+
+let pp_cert_report ppf r =
+  Format.fprintf ppf "k=%d: %d failure sets (%s), %d violations%t" r.k r.trials
+    (if r.exhaustive then "exhaustive" else "sampled")
+    r.violations
+    (fun ppf ->
+      match r.worst with
+      | None -> ()
+      | Some v ->
+          Format.fprintf ppf "; worst |F|=%d split G into %d, H into %d"
+            (List.length v.failed) v.components_g v.components_h)
+
+(* ---------- spanners ---------- *)
+
+type spanner_report = {
+  failures : int;
+  span_trials : int;
+  disconnected : int;
+  baseline : float;
+  worst_stretch : float;
+  mean_stretch : float;
+}
+
+let check_spanner ?rng ?(trials = 32) ~failures g keep =
+  let m = Graph.m g in
+  if failures < 0 || failures > m then
+    invalid_arg "Resilience.check_spanner: failures outside [0, m]";
+  if Array.length keep <> m then
+    invalid_arg "Resilience.check_spanner: mask length mismatch";
+  let rng = match rng with Some r -> r | None -> Rng.create 1 in
+  let baseline = Stretch.max_edge_stretch g keep in
+  let disconnected = ref 0 in
+  let worst = ref neg_infinity in
+  let sum = ref 0.0 and finite = ref 0 in
+  for _ = 1 to trials do
+    let failed = sample_failure_set rng ~m failures in
+    let mask_g = Array.make m true in
+    List.iter (fun e -> mask_g.(e) <- false) failed;
+    let g', back = Graph.sub_with_mapping g mask_g in
+    let keep' = Array.map (fun orig -> keep.(orig)) back in
+    let s = Stretch.max_edge_stretch g' keep' in
+    if s = Float.infinity then incr disconnected
+    else begin
+      if s > !worst then worst := s;
+      sum := !sum +. s;
+      incr finite
+    end
+  done;
+  {
+    failures;
+    span_trials = trials;
+    disconnected = !disconnected;
+    baseline;
+    worst_stretch = !worst;
+    mean_stretch = (if !finite = 0 then nan else !sum /. float_of_int !finite);
+  }
+
+let pp_spanner_report ppf r =
+  Format.fprintf ppf
+    "|F|=%d over %d trials: baseline stretch %.2f, worst %.2f, mean %.2f, %d \
+     disconnected"
+    r.failures r.span_trials r.baseline r.worst_stretch r.mean_stretch
+    r.disconnected

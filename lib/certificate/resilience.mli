@@ -1,0 +1,80 @@
+open! Import
+
+(** Empirical resilience evaluation — certificates and spanners under edge
+    failures.
+
+    The paper's k-connectivity certificates (Section 1.3, Appendix G) are
+    built to survive failures: if H certifies k-edge-connectivity of G,
+    then for {e every} failure set F of at most k-1 edges, H - F is
+    connected exactly when G - F is.  The strong cut property (every cut
+    keeps all of its edges or at least k of them) gives the component-exact
+    form checked here: H - F and G - F have {e identical} connected
+    components.  This module turns that guarantee into an executable
+    experiment: enumerate or sample failure sets, knock the edges out of
+    both graphs, compare.
+
+    All sampling is driven by an explicit {!Rng.t}, so a (seed, graph,
+    certificate) triple replays exactly. *)
+
+(** {1 Certificates under failures} *)
+
+type violation = {
+  failed : int list;  (** failure set F, as edge ids of the input graph *)
+  components_g : int;  (** connected components of G - F *)
+  components_h : int;  (** connected components of H - F (> components_g) *)
+}
+
+type cert_report = {
+  k : int;  (** the certificate's parameter; failure sets have <= k-1 edges *)
+  trials : int;  (** failure sets tested *)
+  exhaustive : bool;
+      (** whether every failure set with |F| <= k-1 was enumerated *)
+  violations : int;  (** trials where H - F split more than G - F *)
+  worst : violation option;
+      (** the violation with the largest component gap, if any *)
+}
+
+val check_certificate :
+  ?rng:Rng.t -> ?budget:int -> Graph.t -> Certificate.t -> cert_report
+(** [check_certificate g c] tests the certificate against failure sets of
+    at most [c.k - 1] edges.  When the number of such sets is at most
+    [budget] (default 2000) they are all enumerated ([exhaustive = true]);
+    otherwise [budget] sets are sampled: the empty set, then sets of a
+    uniform non-zero size, drawn with the given [rng] (default seed 1).
+    Duplicate sampled sets are allowed — this is a stress test, not a
+    counter. *)
+
+val is_resilient : ?rng:Rng.t -> ?budget:int -> Graph.t -> Certificate.t -> bool
+(** [violations = 0] shorthand, used by the qcheck properties. *)
+
+val pp_cert_report : Format.formatter -> cert_report -> unit
+
+(** {1 Spanners under failures} *)
+
+type spanner_report = {
+  failures : int;  (** edges removed per trial *)
+  span_trials : int;
+  disconnected : int;
+      (** trials where H - F lost a component of G - F (infinite stretch) *)
+  baseline : float;  (** stretch of H in G with no failures *)
+  worst_stretch : float;
+      (** max stretch of H - F w.r.t. G - F over the connected trials
+          ([neg_infinity] when every trial disconnected) *)
+  mean_stretch : float;  (** mean over the connected trials ([nan] if none) *)
+}
+
+val check_spanner :
+  ?rng:Rng.t ->
+  ?trials:int ->
+  failures:int ->
+  Graph.t ->
+  bool array ->
+  spanner_report
+(** [check_spanner ~failures g keep] removes [failures] random edges F from
+    the graph and measures the exact stretch of the surviving spanner
+    [keep - F] with respect to [G - F], over [trials] (default 32) sampled
+    sets.  Spanners promise nothing under failures — this measures the
+    degradation the paper's certificates are designed to avoid.  The full
+    graph as its own spanner reports stretch 1.0 in every trial. *)
+
+val pp_spanner_report : Format.formatter -> spanner_report -> unit

@@ -9,15 +9,25 @@ type 'a program = {
   round : Graph.t -> round:int -> me:int -> 'a -> inbox -> 'a step;
 }
 
-type stats = { rounds : int; messages : int; max_words : int; wakeups : int }
+type stats = {
+  rounds : int;
+  messages : int;
+  max_words : int;
+  wakeups : int;
+  drops : int;
+  crashed_nodes : int;
+  severed_links : int;
+}
 
 exception Message_too_large of { sender : int; words : int; limit : int }
 exception Not_a_neighbor of { sender : int; target : int }
-exception Round_limit_exceeded of int
+exception Duplicate_message of { sender : int; target : int }
+exception Round_limit_exceeded of { limit : int; partial : stats }
 
-let run ?max_rounds ?(word_limit = 4) g prog =
+let run ?max_rounds ?(word_limit = 4) ?faults g prog =
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 100 * (n + 1) in
+  (match faults with Some f -> Faults.start f ~n | None -> ());
   let states = Array.init n (fun v -> prog.init g v) in
   let halted = Array.make n false in
   (* pending.(v): messages to deliver to v next round, as (sender, payload),
@@ -28,41 +38,78 @@ let run ?max_rounds ?(word_limit = 4) g prog =
   let messages = ref 0 in
   let max_words = ref 0 in
   let wakeups = ref 0 in
+  let stats_now () =
+    let drops, crashed_nodes, severed_links =
+      match faults with
+      | None -> (0, 0, 0)
+      | Some f -> (Faults.drops f, Faults.crashed_nodes f, Faults.severed_links f)
+    in
+    {
+      rounds = !rounds;
+      messages = !messages;
+      max_words = !max_words;
+      wakeups = !wakeups;
+      drops;
+      crashed_nodes;
+      severed_links;
+    }
+  in
   let all_halted () = Array.for_all (fun h -> h) halted in
   while !has_pending || not (all_halted ()) do
-    if !rounds >= max_rounds then raise (Round_limit_exceeded max_rounds);
+    if !rounds >= max_rounds then
+      raise (Round_limit_exceeded { limit = max_rounds; partial = stats_now () });
+    (match faults with
+    | Some f -> Faults.begin_round f ~round:!rounds
+    | None -> ());
     (* Collect this round's inboxes and clear pending. *)
     let inboxes = Array.map (fun msgs -> List.sort compare (List.rev msgs)) pending in
     Array.fill pending 0 n [];
     has_pending := false;
     for v = 0 to n - 1 do
       let inbox = inboxes.(v) in
-      if (not halted.(v)) || inbox <> [] then begin
-        incr wakeups;
-        let step = prog.round g ~round:!rounds ~me:v states.(v) inbox in
-        states.(v) <- step.state;
-        halted.(v) <- step.halt;
-        (* Validate and enqueue outgoing messages. *)
-        let seen_targets = Hashtbl.create 8 in
-        List.iter
-          (fun (target, payload) ->
-            if not (Graph.mem_edge g v target) then
-              raise (Not_a_neighbor { sender = v; target });
-            if Hashtbl.mem seen_targets target then
-              raise (Not_a_neighbor { sender = v; target })
-              (* one message per neighbour per round *);
-            Hashtbl.replace seen_targets target ();
-            let words = Array.length payload in
-            if words > word_limit then
-              raise (Message_too_large { sender = v; words; limit = word_limit });
-            if words > !max_words then max_words := words;
-            incr messages;
-            pending.(target) <- (v, payload) :: pending.(target);
-            has_pending := true)
-          step.out
-      end
+      match faults with
+      | Some f when Faults.is_crashed f v ->
+          (* Crash-stop: no step, and in-flight messages to v are lost. *)
+          List.iter
+            (fun (sender, _) ->
+              Faults.drop_in_flight f ~round:!rounds ~sender ~target:v)
+            inbox;
+          halted.(v) <- true
+      | _ ->
+          if (not halted.(v)) || inbox <> [] then begin
+            incr wakeups;
+            let step = prog.round g ~round:!rounds ~me:v states.(v) inbox in
+            states.(v) <- step.state;
+            halted.(v) <- step.halt;
+            (* Validate and enqueue outgoing messages.  Model violations
+               (non-neighbour targets, duplicates, oversized payloads) are
+               program bugs and raise even under faults. *)
+            let seen_targets = Hashtbl.create 8 in
+            List.iter
+              (fun (target, payload) ->
+                if not (Graph.mem_edge g v target) then
+                  raise (Not_a_neighbor { sender = v; target });
+                if Hashtbl.mem seen_targets target then
+                  raise (Duplicate_message { sender = v; target })
+                  (* one message per neighbour per round *);
+                Hashtbl.replace seen_targets target ();
+                let words = Array.length payload in
+                if words > word_limit then
+                  raise (Message_too_large { sender = v; words; limit = word_limit });
+                if words > !max_words then max_words := words;
+                let delivered =
+                  match faults with
+                  | None -> true
+                  | Some f -> Faults.deliver f ~round:!rounds ~sender:v ~target
+                in
+                if delivered then begin
+                  incr messages;
+                  pending.(target) <- (v, payload) :: pending.(target);
+                  has_pending := true
+                end)
+              step.out
+          end
     done;
     incr rounds
   done;
-  ( states,
-    { rounds = !rounds; messages = !messages; max_words = !max_words; wakeups = !wakeups } )
+  (states, stats_now ())

@@ -13,7 +13,13 @@ open! Import
     node is skipped until a message arrives, which wakes it.  The run ends
     when every node is halted and no messages are in flight, or when
     [max_rounds] is hit (an error by default, since every algorithm in this
-    library has a proven round bound). *)
+    library has a proven round bound).
+
+    Runs may optionally be subjected to a deterministic fault schedule
+    ({!Faults}): crash-stop node failures, permanent link failures and
+    probabilistic message drops.  Without a [?faults] injector the simulator
+    is perfectly reliable and behaves exactly as before the fault layer
+    existed (tested bit-for-bit against the empty plan). *)
 
 type inbox = (int * int array) list
 (** [(sender_vertex, payload)] for each message received this round,
@@ -36,21 +42,43 @@ type 'a program = {
 
 type stats = {
   rounds : int;  (** rounds executed *)
-  messages : int;  (** total messages delivered *)
-  max_words : int;  (** largest message seen, in words *)
+  messages : int;  (** total messages delivered (dropped ones excluded) *)
+  max_words : int;  (** largest message sent, in words *)
   wakeups : int;  (** total node activations *)
+  drops : int;  (** messages lost to faults (0 without an injector) *)
+  crashed_nodes : int;  (** crash-stop failures applied *)
+  severed_links : int;  (** permanent link failures applied *)
 }
 
 exception Message_too_large of { sender : int; words : int; limit : int }
+
 exception Not_a_neighbor of { sender : int; target : int }
-exception Round_limit_exceeded of int
+(** Raised when a message targets a vertex that is not adjacent to the
+    sender. *)
+
+exception Duplicate_message of { sender : int; target : int }
+(** Raised when a node sends two messages to the same neighbour in one
+    round (the CONGEST bandwidth constraint allows exactly one). *)
+
+exception Round_limit_exceeded of { limit : int; partial : stats }
+(** The run hit [max_rounds].  [partial] carries the statistics observed up
+    to that point so a diverging (or fault-starved) run is diagnosable. *)
 
 val run :
   ?max_rounds:int ->
   ?word_limit:int ->
+  ?faults:Faults.t ->
   Graph.t ->
   'a program ->
   'a array * stats
 (** Execute to quiescence.  [word_limit] is the per-message size cap in
     words of O(log n) bits (default 4: a constant number of ids/weights,
-    the usual CONGEST convention).  [max_rounds] defaults to [100 * (n+1)]. *)
+    the usual CONGEST convention).  [max_rounds] defaults to [100 * (n+1)].
+
+    [faults] subjects the run to a fault schedule (see {!Faults} for the
+    exact semantics); the injector must be fresh, and afterwards
+    [Faults.events] holds the chronological log of what was injected.
+    Crashed nodes count as halted for termination purposes, so a program
+    that would wait forever for a lost message ends with
+    {!Round_limit_exceeded} — whose [partial] stats include the fault
+    counters. *)

@@ -6,7 +6,7 @@ type bfs_result = { dist : int array; parent : int array }
 
 type bfs_state = { bdist : int; bparent : int }
 
-let bfs g ~root =
+let bfs ?faults g ~root =
   if root < 0 || root >= Graph.n g then invalid_arg "Programs.bfs: bad root";
   let program =
     {
@@ -46,7 +46,7 @@ let bfs g ~root =
           end);
     }
   in
-  let states, stats = Network.run g program in
+  let states, stats = Network.run ?faults g program in
   ( {
       dist = Array.map (fun s -> s.bdist) states;
       parent = Array.map (fun s -> s.bparent) states;
@@ -57,7 +57,7 @@ let bfs g ~root =
 
 type bc_state = { known : int }
 
-let broadcast_max g ~values =
+let broadcast_max ?faults g ~values =
   if Array.length values <> Graph.n g then
     invalid_arg "Programs.broadcast_max: length mismatch";
   let program =
@@ -78,7 +78,7 @@ let broadcast_max g ~values =
           else { Network.state = st; out = []; halt = true });
     }
   in
-  let states, stats = Network.run g program in
+  let states, stats = Network.run ?faults g program in
   (Array.map (fun s -> s.known) states, stats)
 
 (* ---------- maximal matching ---------- *)

@@ -11,16 +11,21 @@ open! Import
 
 type bfs_result = { dist : int array; parent : int array }
 
-val bfs : Graph.t -> root:int -> bfs_result * Network.stats
+val bfs : ?faults:Faults.t -> Graph.t -> root:int -> bfs_result * Network.stats
 (** Distributed BFS flooding from the root.  Rounds ~ eccentricity + O(1);
-    [dist]/[parent] agree with {!Bfs.tree}. *)
+    [dist]/[parent] agree with {!Bfs.tree}.  Under a fault schedule the
+    protocol still terminates: unreached vertices keep [dist = -1], which
+    makes BFS the resilience probe of the bench harness. *)
 
 (** {1 Broadcast / convergecast} *)
 
-val broadcast_max : Graph.t -> values:int array -> int array * Network.stats
+val broadcast_max :
+  ?faults:Faults.t -> Graph.t -> values:int array -> int array * Network.stats
 (** Every node learns the maximum of all initial values, by flooding;
     rounds ~ diameter + O(1).  (A stand-in for generic broadcast: any
-    idempotent associative aggregate works the same way.) *)
+    idempotent associative aggregate works the same way.)  Under faults,
+    nodes cut off from the maximum keep the largest value that reached
+    them. *)
 
 (** {1 Maximal matching} *)
 

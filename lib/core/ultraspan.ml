@@ -6,7 +6,8 @@
       — deterministic utilities.
     - {!Graph} and friends — the CSR graph substrate with stable edge ids.
     - {!Network}, {!Programs}, {!Rounds} — the CONGEST simulator and round
-      accounting.
+      accounting; {!Faults} — deterministic fault schedules (crashes, link
+      failures, message drops) for running programs under adversity.
     - {!Coloring}, {!Network_decomposition}, {!Separated_clustering},
       {!Ruling_set} — distributed decomposition primitives.
 
@@ -18,7 +19,9 @@
       (Theorems F.1/1.7), {!Elkin_neiman} and {!Greedy} (baselines),
       {!Weighted_reduction} (folklore reduction).
     - {!Certificate}, {!Spanner_packing} (Theorem G.1), {!Karger_split}
-      (Theorem 1.9), {!Thurimella} and {!Nagamochi_ibaraki} (baselines). *)
+      (Theorem 1.9), {!Thurimella} and {!Nagamochi_ibaraki} (baselines);
+      {!Resilience} — empirical failure-set evaluation of certificates and
+      spanners. *)
 
 (* Utilities *)
 module Rng = Ultraspan_util.Rng
@@ -48,6 +51,7 @@ module Cycles = Ultraspan_graph.Cycles
 
 (* CONGEST *)
 module Network = Ultraspan_congest.Network
+module Faults = Ultraspan_congest.Faults
 module Programs = Ultraspan_congest.Programs
 module Cluster_programs = Ultraspan_congest.Cluster_programs
 module Rounds = Ultraspan_congest.Rounds
@@ -82,3 +86,4 @@ module Karger_split = Ultraspan_certificate.Karger_split
 module Thurimella = Ultraspan_certificate.Thurimella
 module Nagamochi_ibaraki = Ultraspan_certificate.Nagamochi_ibaraki
 module Kecss = Ultraspan_certificate.Kecss
+module Resilience = Ultraspan_certificate.Resilience

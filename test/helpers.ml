@@ -18,6 +18,22 @@ let unit_graph_of_seed ?(n_max = 120) seed =
 
 let seed_gen = QCheck2.Gen.int_bound 1_000_000
 
+(* A random graph with decent connectivity: a Harary backbone plus noise.
+   Ground-truth workload for the certificate and resilience suites. *)
+let k_connected_graph ?(n = 60) ~k seed =
+  let rng = Rng.create seed in
+  let h = Generators.harary ~k ~n in
+  let extra = ref [] in
+  for _ = 1 to n do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    if a <> b then extra := (a, b, 1) :: !extra
+  done;
+  let base =
+    Array.to_list
+      (Array.map (fun e -> (e.Graph.u, e.Graph.v, e.Graph.w)) (Graph.edges h))
+  in
+  Graph.of_edges ~n (base @ !extra)
+
 let check_ok name = function
   | Ok () -> ()
   | Error e -> Alcotest.failf "%s: %s" name e

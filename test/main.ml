@@ -7,6 +7,7 @@ let () =
       ("decomp", Test_decomp.suite);
       ("spanner", Test_spanner.suite);
       ("certificate", Test_certificate.suite);
+      ("resilience", Test_resilience.suite);
       ("extensions", Test_extensions.suite);
       ("misc", Test_misc.suite);
       ("integration", Test_integration.suite);

@@ -1,20 +1,8 @@
 open Ultraspan
 open Helpers
 
-(* A random graph with decent connectivity: harary backbone + noise. *)
-let k_connected_graph ?(n = 60) ~k seed =
-  let rng = Rng.create seed in
-  let h = Generators.harary ~k ~n in
-  let extra = ref [] in
-  for _ = 1 to n do
-    let a = Rng.int rng n and b = Rng.int rng n in
-    if a <> b then extra := (a, b, 1) :: !extra
-  done;
-  let base =
-    Array.to_list
-      (Array.map (fun e -> (e.Graph.u, e.Graph.v, e.Graph.w)) (Graph.edges h))
-  in
-  Graph.of_edges ~n (base @ !extra)
+(* The harary-backbone-plus-noise workload lives in Helpers.k_connected_graph
+   (shared with the resilience suite). *)
 
 (* ---------- Certificate basics ---------- *)
 

@@ -65,6 +65,24 @@ let non_neighbor_rejected () =
   | exception Network.Not_a_neighbor { sender = 0; target = 2 } -> ()
   | _ -> Alcotest.fail "expected Not_a_neighbor"
 
+let duplicate_rejected () =
+  (* two messages to the same (valid) neighbour: a distinct violation from
+     targeting a non-neighbour, with its own exception *)
+  let g = Generators.path 2 in
+  let program =
+    {
+      Network.init = (fun _ _ -> ());
+      round =
+        (fun _ ~round ~me st _ ->
+          if round = 0 && me = 0 then
+            { Network.state = st; out = [ (1, [| 1 |]); (1, [| 2 |]) ]; halt = true }
+          else { Network.state = st; out = []; halt = true });
+    }
+  in
+  match Network.run g program with
+  | exception Network.Duplicate_message { sender = 0; target = 1 } -> ()
+  | _ -> Alcotest.fail "expected Duplicate_message"
+
 let round_limit_enforced () =
   let g = Generators.path 2 in
   let program =
@@ -79,7 +97,11 @@ let round_limit_enforced () =
     }
   in
   match Network.run ~max_rounds:10 g program with
-  | exception Network.Round_limit_exceeded 10 -> ()
+  | exception Network.Round_limit_exceeded { limit = 10; partial } ->
+      (* the partial stats make the divergence diagnosable *)
+      Alcotest.(check int) "partial rounds" 10 partial.Network.rounds;
+      Alcotest.(check bool) "messages observed" true
+        (partial.Network.messages > 0)
   | _ -> Alcotest.fail "expected Round_limit_exceeded"
 
 let message_stats_counted () =
@@ -207,6 +229,7 @@ let suite =
     flood_reaches_everyone;
     case "simulator: word limit" word_limit_enforced;
     case "simulator: non-neighbor" non_neighbor_rejected;
+    case "simulator: duplicate message" duplicate_rejected;
     case "simulator: round limit" round_limit_enforced;
     case "simulator: message stats" message_stats_counted;
     bfs_matches_centralized;
@@ -365,4 +388,113 @@ let suite =
       spanning_forest_valid;
       case "forest: disconnected" spanning_forest_on_disconnected;
       spanning_forest_rounds;
+    ]
+
+(* ---------- fault injection ---------- *)
+
+let empty_plan_is_identity =
+  qcheck "empty fault plan = fault-free run" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:50 seed in
+      let plain = Network.run g (flood_program 0) in
+      let f = Faults.make Faults.empty in
+      let faulty = Network.run ~faults:f g (flood_program 0) in
+      plain = faulty && Faults.events f = [])
+
+(* A plan with all three fault kinds, keyed by a seed. *)
+let mixed_plan_of_seed g seed =
+  let rng = Rng.create (succ (abs seed)) in
+  let n = Graph.n g in
+  Faults.empty
+  |> Faults.with_drops ~seed 0.15
+  |> Faults.random_crashes ~rng ~n ~within:4 ~count:(min 3 (n - 1))
+  |> Faults.random_link_failures ~rng g ~within:4 ~count:(min 4 (Graph.m g))
+
+let replay_is_deterministic =
+  qcheck ~count:20 "same (seed, plan) replays identically" seed_gen
+    (fun seed ->
+      let g = unit_graph_of_seed ~n_max:40 seed in
+      let plan = mixed_plan_of_seed g seed in
+      let run () =
+        let f = Faults.make plan in
+        let out = Network.run ~faults:f g (flood_program 0) in
+        (out, Faults.events f)
+      in
+      run () = run ())
+
+let crash_blocks_flood () =
+  let g = Generators.path 4 in
+  let f = Faults.make (Faults.crash ~round:0 1 Faults.empty) in
+  let states, stats = Network.run ~faults:f g (flood_program 0) in
+  Alcotest.(check (array int)) "flood stops at the crash"
+    [| 0; -1; -1; -1 |] states;
+  Alcotest.(check int) "crashed nodes" 1 stats.Network.crashed_nodes
+
+let sever_blocks_link () =
+  let g = Generators.path 3 in
+  let f = Faults.make (Faults.sever ~round:0 1 2 Faults.empty) in
+  let states, stats = Network.run ~faults:f g (flood_program 0) in
+  Alcotest.(check (array int)) "flood stops at the dead link"
+    [| 0; 1; -1 |] states;
+  Alcotest.(check int) "severed links" 1 stats.Network.severed_links
+
+let drop_everything () =
+  let g = Generators.star 5 in
+  let f = Faults.make (Faults.with_drops 1.0 Faults.empty) in
+  let states, stats = Network.run ~faults:f g (flood_program 0) in
+  Alcotest.(check (array int)) "only the root knows"
+    [| 0; -1; -1; -1; -1 |] states;
+  Alcotest.(check int) "nothing delivered" 0 stats.Network.messages;
+  Alcotest.(check int) "every send dropped" 4 stats.Network.drops
+
+let injector_is_single_use () =
+  let g = Generators.path 3 in
+  let f = Faults.make Faults.empty in
+  let _ = Network.run ~faults:f g (flood_program 0) in
+  Alcotest.check_raises "reuse rejected"
+    (Invalid_argument "Faults.start: injector already used (build a fresh one)")
+    (fun () -> ignore (Network.run ~faults:f g (flood_program 0)))
+
+let counters_match_event_log =
+  qcheck ~count:20 "stats counters = event-log tallies" seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:40 seed in
+      let f = Faults.make (mixed_plan_of_seed g seed) in
+      let _, stats = Network.run ~faults:f g (flood_program 0) in
+      let crashes = ref 0 and severs = ref 0 and drops = ref 0 in
+      List.iter
+        (function
+          | Faults.Crash _ -> incr crashes
+          | Faults.Sever _ -> incr severs
+          | Faults.Drop _ -> incr drops)
+        (Faults.events f);
+      stats.Network.crashed_nodes = !crashes
+      && stats.Network.severed_links = !severs
+      && stats.Network.drops = !drops
+      && Faults.drops f = !drops
+      && Faults.crashed_nodes f = !crashes
+      && Faults.severed_links f = !severs)
+
+let bfs_under_faults_partial =
+  qcheck ~count:15 "bfs under faults: reached nodes have true distances"
+    seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:40 seed in
+      let f = Faults.make (mixed_plan_of_seed g seed) in
+      let result, _ = Programs.bfs ~faults:f g ~root:0 in
+      let dist = Bfs.distances g 0 in
+      (* faults only lose information: any distance the damaged run reports
+         is an upper bound witnessed by a real path, never an undercount *)
+      Array.for_all2
+        (fun got true_d -> got = -1 || got >= true_d)
+        result.Programs.dist dist)
+
+let suite =
+  suite
+  @ [
+      empty_plan_is_identity;
+      replay_is_deterministic;
+      case "faults: crash blocks flood" crash_blocks_flood;
+      case "faults: sever blocks link" sever_blocks_link;
+      case "faults: drop everything" drop_everything;
+      case "faults: injector single-use" injector_is_single_use;
+      counters_match_event_log;
+      bfs_under_faults_partial;
     ]

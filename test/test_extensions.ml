@@ -442,7 +442,7 @@ let duplicate_message_rejected () =
     }
   in
   match Network.run g program with
-  | exception Network.Not_a_neighbor { sender = 0; target = 1 } -> ()
+  | exception Network.Duplicate_message { sender = 0; target = 1 } -> ()
   | _ -> Alcotest.fail "duplicate per-round message not rejected"
 
 let en_size_statistical () =

@@ -1,0 +1,142 @@
+open Ultraspan
+open Helpers
+
+(* ---------- exhaustive small cases (ground truth by hand) ---------- *)
+
+let exhaustive_cycle () =
+  (* cycle 6, k=2: failure sets are the empty set and the 6 singletons *)
+  let g = Generators.cycle 6 in
+  let full = Certificate.of_eids g ~k:2 (List.init 6 Fun.id) in
+  let r = Resilience.check_certificate g full in
+  Alcotest.(check bool) "exhaustive" true r.Resilience.exhaustive;
+  Alcotest.(check int) "trials = 1 + 6" 7 r.Resilience.trials;
+  Alcotest.(check int) "no violations" 0 r.Resilience.violations;
+  Alcotest.(check bool) "no worst" true (r.Resilience.worst = None)
+
+let exhaustive_catches_broken_certificate () =
+  (* dropping one cycle edge from the "certificate" leaves a path: the
+     failure of any surviving path edge splits H but not G *)
+  let g = Generators.cycle 6 in
+  let broken = Certificate.of_eids g ~k:2 [ 0; 1; 2; 3; 4 ] in
+  let r = Resilience.check_certificate g broken in
+  Alcotest.(check bool) "exhaustive" true r.Resilience.exhaustive;
+  Alcotest.(check int) "five singleton violations" 5 r.Resilience.violations;
+  (match r.Resilience.worst with
+  | None -> Alcotest.fail "expected a worst violation"
+  | Some v ->
+      Alcotest.(check int) "|F| = 1" 1 (List.length v.Resilience.failed);
+      Alcotest.(check int) "G stays whole" 1 v.Resilience.components_g;
+      Alcotest.(check int) "H splits in two" 2 v.Resilience.components_h);
+  Alcotest.(check bool) "not resilient" false (Resilience.is_resilient g broken)
+
+let k1_only_empty_set () =
+  (* k=1: the only admissible failure set is empty, so any spanning
+     subgraph passes *)
+  let g = Generators.cycle 5 in
+  let tree = Certificate.of_eids g ~k:1 [ 0; 1; 2; 3 ] in
+  let r = Resilience.check_certificate g tree in
+  Alcotest.(check int) "one trial" 1 r.Resilience.trials;
+  Alcotest.(check bool) "exhaustive" true r.Resilience.exhaustive;
+  Alcotest.(check int) "no violations" 0 r.Resilience.violations
+
+let sampling_respects_budget () =
+  (* harary k=4 on 40 vertices: C(80, <=3) blows the budget, so exactly
+     [budget] sets are sampled *)
+  let g = Generators.harary ~k:4 ~n:40 in
+  let c = Nagamochi_ibaraki.certificate ~k:4 g in
+  let r = Resilience.check_certificate ~budget:97 g c in
+  Alcotest.(check bool) "sampled" false r.Resilience.exhaustive;
+  Alcotest.(check int) "budget trials" 97 r.Resilience.trials;
+  Alcotest.(check int) "still resilient" 0 r.Resilience.violations
+
+let report_is_deterministic () =
+  let g = k_connected_graph ~n:30 ~k:3 42 in
+  let c = Thurimella.certificate ~k:3 g in
+  let run () = Resilience.check_certificate ~rng:(Rng.create 9) ~budget:150 g c in
+  Alcotest.(check bool) "same rng seed, same report" true (run () = run ())
+
+(* ---------- every construction tolerates |F| <= k-1 (satellite c) ---------- *)
+
+let construction_resilient name build =
+  qcheck ~count:8 (name ^ " certificate survives |F| <= k-1 failures")
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let k = 2 + Rng.int rng 3 in
+      let g = k_connected_graph ~n:28 ~k seed in
+      Resilience.is_resilient ~rng ~budget:60 g (build ~k g))
+
+let thurimella_resilient =
+  construction_resilient "thurimella" (fun ~k g -> Thurimella.certificate ~k g)
+
+let ni_resilient =
+  construction_resilient "nagamochi-ibaraki" (fun ~k g ->
+      Nagamochi_ibaraki.certificate ~k g)
+
+let kecss_resilient =
+  construction_resilient "kECSS" (fun ~k g ->
+      (Kecss.approximate ~epsilon:0.5 ~k g).Kecss.certificate)
+
+let packing_resilient =
+  construction_resilient "spanner-packing" (fun ~k g ->
+      (Spanner_packing.run ~k ~epsilon:0.5 g).Spanner_packing.certificate)
+
+(* The cut property implies the failure-set property; the harness must
+   never contradict the exhaustive cut check on graphs small enough to
+   afford both. *)
+let harness_agrees_with_cut_property =
+  qcheck ~count:10 "cut property ==> failure-set property" seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let k = 2 + Rng.int rng 2 in
+      let g = k_connected_graph ~n:12 ~k:3 seed in
+      let c = Thurimella.certificate ~k g in
+      (not (Certificate.cut_property_exhaustive g c))
+      || Resilience.is_resilient ~rng ~budget:5000 g c)
+
+(* ---------- spanners under failures ---------- *)
+
+let full_graph_spanner_never_degrades =
+  qcheck ~count:10 "full graph as spanner: stretch 1.0 under any failures"
+    seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:40 seed in
+      let keep = Array.make (Graph.m g) true in
+      let rng = Rng.create seed in
+      let failures = min 3 (Graph.m g) in
+      let r = Resilience.check_spanner ~rng ~trials:8 ~failures g keep in
+      r.Resilience.baseline = 1.0
+      && r.Resilience.disconnected = 0
+      && r.Resilience.worst_stretch = 1.0)
+
+let spanner_zero_failures_is_baseline () =
+  let g = k_connected_graph ~n:30 ~k:3 7 in
+  let s = Baswana_sen.run ~rng:(Rng.create 3) ~k:2 g in
+  let keep = s.Baswana_sen.spanner.Spanner.keep in
+  let r = Resilience.check_spanner ~trials:4 ~failures:0 g keep in
+  Alcotest.(check (float 1e-9)) "worst = baseline" r.Resilience.baseline
+    r.Resilience.worst_stretch;
+  Alcotest.(check int) "nothing disconnects" 0 r.Resilience.disconnected
+
+let spanner_rejects_bad_mask () =
+  let g = Generators.cycle 5 in
+  Alcotest.check_raises "mask length"
+    (Invalid_argument "Resilience.check_spanner: mask length mismatch")
+    (fun () ->
+      ignore (Resilience.check_spanner ~trials:1 ~failures:1 g [| true |]))
+
+let suite =
+  [
+    case "resilience: exhaustive cycle" exhaustive_cycle;
+    case "resilience: catches broken certificate"
+      exhaustive_catches_broken_certificate;
+    case "resilience: k=1 trivial" k1_only_empty_set;
+    case "resilience: sampling budget" sampling_respects_budget;
+    case "resilience: deterministic report" report_is_deterministic;
+    thurimella_resilient;
+    ni_resilient;
+    kecss_resilient;
+    packing_resilient;
+    harness_agrees_with_cut_property;
+    full_graph_spanner_never_degrades;
+    case "resilience: spanner |F|=0 = baseline" spanner_zero_failures_is_baseline;
+    case "resilience: spanner bad mask" spanner_rejects_bad_mask;
+  ]
