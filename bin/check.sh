@@ -1,8 +1,19 @@
 #!/bin/sh
-# CI / pre-commit gate: full build (libs, executables, docs) + test suite.
+# CI / pre-commit gate: full build (libs, executables, docs) + test suite,
+# plus a smoke test of the trace exporters and the O1 observability table.
 # Usage: bin/check.sh  (from anywhere inside the repo)
 set -e
 cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
+
+# trace smoke test: run a traced protocol, check both export files appear
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+dune exec bin/ultraspan_cli.exe -- trace --program bfs --family gnp -n 64 \
+  --degree 6 --seed 5 -o "$tmp/trace" >/dev/null
+test -s "$tmp/trace.jsonl"
+test -s "$tmp/trace.trace.json"
+dune exec bench/main.exe -- --quick --table o1 >/dev/null
+
 echo "check: OK"

@@ -160,7 +160,7 @@ let build_certificate ~algo ~k ~eps ~seed g =
 
 (* ---------- spanner ---------- *)
 
-let spanner algo k t input family n degree max_w seed output =
+let spanner algo k t breakdown input family n degree max_w seed output =
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
   let sp = build_spanner ~algo ~k ~t ~seed g in
@@ -171,6 +171,8 @@ let spanner algo k t input family n degree max_w seed output =
     Printf.printf "exact stretch   : %.2f\n"
       (Stretch.max_edge_stretch g sp.Spanner.keep);
   Printf.printf "simulated rounds: %d\n" (Spanner.total_rounds sp);
+  if breakdown then
+    Format.printf "round breakdown : %a@." Rounds.pp sp.Spanner.rounds;
   match output with
   | None -> ()
   | Some path ->
@@ -185,14 +187,22 @@ let spanner_algo_arg =
           "bs | bs-derand | linear | linear-random | ultra | greedy | en | \
            clustering | clustering-ultra.")
 
+let breakdown_arg =
+  Arg.(
+    value & flag
+    & info [ "breakdown" ]
+        ~doc:
+          "Print the hierarchical round-accounting tree (algorithm -> phase \
+           -> step spans).")
+
 let spanner_cmd =
   Cmd.v
     (Cmd.info "spanner" ~doc:"Compute a spanner and report its guarantees.")
     Term.(
       const spanner $ spanner_algo_arg
       $ k_arg "Stretch parameter k (stretch 2k-1)."
-      $ t_arg $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg
-      $ seed_arg $ output_arg)
+      $ t_arg $ breakdown_arg $ input_arg $ family_arg $ n_arg $ degree_arg
+      $ weights_arg $ seed_arg $ output_arg)
 
 (* ---------- certificate ---------- *)
 
@@ -296,6 +306,103 @@ let resilience_cmd =
       $ t_arg $ eps_arg $ budget_arg $ trials_arg $ failures_arg $ input_arg
       $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg)
 
+(* ---------- trace ---------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let trace prog k root drop crashes top input family n degree max_w seed output =
+  let g = load_graph input family n degree max_w seed in
+  Format.printf "input: %a@." Graph.pp g;
+  let plan =
+    let p = Faults.empty in
+    let p = if drop > 0.0 then Faults.with_drops ~seed drop p else p in
+    if crashes > 0 then
+      Faults.random_crashes ~rng:(Rng.create seed) ~n:(Graph.n g) ~within:4
+        ~count:crashes p
+    else p
+  in
+  let faulty = plan <> Faults.empty in
+  let faults = if faulty then Some (Faults.make plan) else None in
+  if faulty then Format.printf "fault plan: %a@." Faults.pp plan;
+  let tr = Trace.create g in
+  let stats =
+    match prog with
+    | "bfs" -> snd (Programs.bfs ?faults ~trace:tr g ~root)
+    | "broadcast" ->
+        snd
+          (Programs.broadcast_max ?faults ~trace:tr g
+             ~values:(Array.init (Graph.n g) Fun.id))
+    | p when faulty ->
+        failwith
+          (Printf.sprintf
+             "program %s does not take a fault plan (only bfs | broadcast)" p)
+    | "matching" -> snd (Programs.maximal_matching ~trace:tr g)
+    | "mis" -> snd (Programs.luby_mis ~trace:tr ~seed g)
+    | "bellman-ford" -> snd (Programs.bellman_ford ~trace:tr g ~source:root)
+    | "forest" -> snd (Programs.spanning_forest ~trace:tr g)
+    | "bs" ->
+        (Bs_distributed.run ~trace:tr ~seed ~k g).Bs_distributed.network_stats
+    | p -> failwith ("unknown program: " ^ p)
+  in
+  Printf.printf "rounds          : %d\n" stats.Network.rounds;
+  Printf.printf "messages        : %d\n" stats.Network.messages;
+  if stats.Network.drops > 0 then
+    Printf.printf "dropped         : %d\n" stats.Network.drops;
+  Format.printf "%a@?" (Trace.pp_summary ~top) tr;
+  let prefix = match output with Some p -> p | None -> "trace" in
+  write_file (prefix ^ ".jsonl") (Trace.to_jsonl tr);
+  write_file (prefix ^ ".trace.json") (Trace.to_chrome tr);
+  Printf.printf "wrote %s.jsonl (one record per line) and %s.trace.json \
+                 (Chrome trace-event JSON, loadable in Perfetto)\n"
+    prefix prefix
+
+let trace_program_arg =
+  Arg.(
+    value & opt string "bfs"
+    & info [ "program" ] ~docv:"PROG"
+        ~doc:
+          "Traced protocol: bfs | broadcast | matching | mis | bellman-ford \
+           | forest | bs (distributed Baswana-Sen).")
+
+let root_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "root" ] ~docv:"V" ~doc:"Root / source vertex (bfs, bellman-ford).")
+
+let drop_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop-prob" ] ~docv:"P"
+        ~doc:"Message drop probability (bfs/broadcast only).")
+
+let crashes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crashes" ] ~docv:"C"
+        ~doc:"Crash-stop failures within the first rounds (bfs/broadcast only).")
+
+let top_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"K" ~doc:"Congested edges to list in the summary.")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a native CONGEST protocol with a trace sink attached and \
+          export the per-round/per-node/per-edge records as JSONL plus \
+          Chrome trace-event JSON (with -o PREFIX, to PREFIX.jsonl and \
+          PREFIX.trace.json).")
+    Term.(
+      const trace $ trace_program_arg
+      $ k_arg "Stretch parameter k (program bs)."
+      $ root_arg $ drop_arg $ crashes_arg $ top_arg $ input_arg $ family_arg
+      $ n_arg $ degree_arg $ weights_arg $ seed_arg $ output_arg)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -308,4 +415,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; stats_cmd; spanner_cmd; certificate_cmd; resilience_cmd ]))
+          [
+            generate_cmd; stats_cmd; spanner_cmd; certificate_cmd;
+            resilience_cmd; trace_cmd;
+          ]))

@@ -35,6 +35,7 @@ let certificate ~k g =
   let rounds = Rounds.create () in
   (* O(k (D + sqrt n)): estimate D by twice an eccentricity. *)
   let d_est = if Graph.n g = 0 then 0 else 2 * Bfs.eccentricity g 0 in
-  Rounds.charge ~label:"thurimella:forests" rounds
-    (k * (d_est + int_of_float (sqrt (float_of_int (Graph.n g))) + 1));
+  Rounds.span rounds "thurimella" (fun () ->
+      Rounds.charge ~label:"forests" rounds
+        (k * (d_est + int_of_float (sqrt (float_of_int (Graph.n g))) + 1)));
   { Certificate.keep; rounds; k }

@@ -24,10 +24,11 @@ exception Not_a_neighbor of { sender : int; target : int }
 exception Duplicate_message of { sender : int; target : int }
 exception Round_limit_exceeded of { limit : int; partial : stats }
 
-let run ?max_rounds ?(word_limit = 4) ?faults g prog =
+let run ?max_rounds ?(word_limit = 4) ?faults ?trace g prog =
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 100 * (n + 1) in
   (match faults with Some f -> Faults.start f ~n | None -> ());
+  (match trace with Some tr -> Trace.start tr ~n | None -> ());
   let states = Array.init n (fun v -> prog.init g v) in
   let halted = Array.make n false in
   (* pending.(v): messages to deliver to v next round, as (sender, payload),
@@ -61,6 +62,11 @@ let run ?max_rounds ?(word_limit = 4) ?faults g prog =
     (match faults with
     | Some f -> Faults.begin_round f ~round:!rounds
     | None -> ());
+    (match (trace, faults) with
+    | Some tr, Some f ->
+        Trace.note_fault_counters tr ~crashed:(Faults.crashed_nodes f)
+          ~severed:(Faults.severed_links f)
+    | _ -> ());
     (* Collect this round's inboxes and clear pending. *)
     let inboxes = Array.map (fun msgs -> List.sort compare (List.rev msgs)) pending in
     Array.fill pending 0 n [];
@@ -72,12 +78,16 @@ let run ?max_rounds ?(word_limit = 4) ?faults g prog =
           (* Crash-stop: no step, and in-flight messages to v are lost. *)
           List.iter
             (fun (sender, _) ->
-              Faults.drop_in_flight f ~round:!rounds ~sender ~target:v)
+              Faults.drop_in_flight f ~round:!rounds ~sender ~target:v;
+              match trace with
+              | Some tr -> Trace.note_drop tr
+              | None -> ())
             inbox;
           halted.(v) <- true
       | _ ->
           if (not halted.(v)) || inbox <> [] then begin
             incr wakeups;
+            (match trace with Some tr -> Trace.note_step tr | None -> ());
             let step = prog.round g ~round:!rounds ~me:v states.(v) inbox in
             states.(v) <- step.state;
             halted.(v) <- step.halt;
@@ -104,12 +114,26 @@ let run ?max_rounds ?(word_limit = 4) ?faults g prog =
                 in
                 if delivered then begin
                   incr messages;
+                  (match trace with
+                  | Some tr -> Trace.note_send tr ~sender:v ~target ~words
+                  | None -> ());
                   pending.(target) <- (v, payload) :: pending.(target);
                   has_pending := true
-                end)
+                end
+                else
+                  match trace with
+                  | Some tr -> Trace.note_drop tr
+                  | None -> ())
               step.out
           end
     done;
+    (match trace with
+    | Some tr ->
+        let halted_now =
+          Array.fold_left (fun a h -> if h then a + 1 else a) 0 halted
+        in
+        Trace.end_round tr ~round:!rounds ~halted:halted_now
+    | None -> ());
     incr rounds
   done;
   (states, stats_now ())

@@ -68,6 +68,7 @@ val run :
   ?max_rounds:int ->
   ?word_limit:int ->
   ?faults:Faults.t ->
+  ?trace:Trace.t ->
   Graph.t ->
   'a program ->
   'a array * stats
@@ -81,4 +82,10 @@ val run :
     Crashed nodes count as halted for termination purposes, so a program
     that would wait forever for a lost message ends with
     {!Round_limit_exceeded} — whose [partial] stats include the fault
-    counters. *)
+    counters.
+
+    [trace] attaches a fresh {!Trace} sink recording per-round, per-node
+    and per-edge behaviour.  Tracing is pure observation: a run with a sink
+    computes exactly the same states and stats as one without (tested
+    bit-for-bit), and with no sink the simulator takes the historical code
+    path unchanged. *)

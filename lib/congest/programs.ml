@@ -6,7 +6,7 @@ type bfs_result = { dist : int array; parent : int array }
 
 type bfs_state = { bdist : int; bparent : int }
 
-let bfs ?faults g ~root =
+let bfs ?faults ?trace g ~root =
   if root < 0 || root >= Graph.n g then invalid_arg "Programs.bfs: bad root";
   let program =
     {
@@ -46,7 +46,7 @@ let bfs ?faults g ~root =
           end);
     }
   in
-  let states, stats = Network.run ?faults g program in
+  let states, stats = Network.run ?faults ?trace g program in
   ( {
       dist = Array.map (fun s -> s.bdist) states;
       parent = Array.map (fun s -> s.bparent) states;
@@ -57,7 +57,7 @@ let bfs ?faults g ~root =
 
 type bc_state = { known : int }
 
-let broadcast_max ?faults g ~values =
+let broadcast_max ?faults ?trace g ~values =
   if Array.length values <> Graph.n g then
     invalid_arg "Programs.broadcast_max: length mismatch";
   let program =
@@ -78,7 +78,7 @@ let broadcast_max ?faults g ~values =
           else { Network.state = st; out = []; halt = true });
     }
   in
-  let states, stats = Network.run ?faults g program in
+  let states, stats = Network.run ?faults ?trace g program in
   (Array.map (fun s -> s.known) states, stats)
 
 (* ---------- maximal matching ---------- *)
@@ -93,7 +93,7 @@ type mm_state = {
   announced : bool;
 }
 
-let maximal_matching g =
+let maximal_matching ?trace g =
   let program =
     {
       Network.init =
@@ -160,7 +160,7 @@ let maximal_matching g =
           end);
     }
   in
-  let states, stats = Network.run g program in
+  let states, stats = Network.run ?trace g program in
   (Array.map (fun s -> s.mate) states, stats)
 
 (* ---------- Luby's MIS ---------- *)
@@ -177,7 +177,7 @@ type mis_state = {
   prios : (int * int) list; (* neighbour -> priority, this phase *)
 }
 
-let luby_mis ~seed g =
+let luby_mis ?trace ~seed g =
   (* Per-(vertex, phase) pseudo-random priorities via SplitMix: the whole
      run is reproducible from [seed]. *)
   let priority v phase =
@@ -269,14 +269,14 @@ let luby_mis ~seed g =
               end);
     }
   in
-  let states, stats = Network.run ~word_limit:4 g program in
+  let states, stats = Network.run ~word_limit:4 ?trace g program in
   (Array.map (fun s -> s.status = Mis_in) states, stats)
 
 (* ---------- distributed Bellman–Ford ---------- *)
 
 type bf_state = { bf_dist : int; bf_parent : int }
 
-let bellman_ford g ~source =
+let bellman_ford ?trace g ~source =
   if source < 0 || source >= Graph.n g then
     invalid_arg "Programs.bellman_ford: bad source";
   let program =
@@ -310,7 +310,7 @@ let bellman_ford g ~source =
           else { Network.state = st; out = []; halt = true });
     }
   in
-  let states, stats = Network.run g program in
+  let states, stats = Network.run ?trace g program in
   ( ( Array.map (fun s -> s.bf_dist) states,
       Array.map (fun s -> s.bf_parent) states ),
     stats )
@@ -319,7 +319,7 @@ let bellman_ford g ~source =
 
 type forest_state = { fr_root : int; fr_parent_eid : int }
 
-let spanning_forest g =
+let spanning_forest ?trace g =
   let program =
     {
       Network.init = (fun _ v -> { fr_root = v; fr_parent_eid = -1 });
@@ -347,7 +347,7 @@ let spanning_forest g =
           else { Network.state = st; out = []; halt = true });
     }
   in
-  let states, stats = Network.run g program in
+  let states, stats = Network.run ?trace g program in
   let eids =
     Array.to_list states
     |> List.filter_map (fun s ->

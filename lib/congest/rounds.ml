@@ -1,24 +1,110 @@
-type t = { mutable total : int; tbl : (string, int) Hashtbl.t }
+(* Hierarchical round accounting.  Charges land on a tree of named spans
+   (algorithm -> phase -> step); the pre-span flat API is the degenerate
+   one-level tree, so existing call sites and their breakdowns are
+   unchanged. *)
 
-let create () = { total = 0; tbl = Hashtbl.create 16 }
+type node = {
+  mutable self : int;  (* rounds charged directly to this node *)
+  mutable charged : bool;  (* ever the target of a direct charge *)
+  children : (string, node) Hashtbl.t;
+  mutable order : string list;  (* child names, reverse insertion order *)
+}
+
+type t = { mutable total : int; root : node; mutable stack : node list }
+
+type span = { name : string; self : int; subtotal : int; children : span list }
+
+let fresh_node () =
+  { self = 0; charged = false; children = Hashtbl.create 8; order = [] }
+
+let create () = { total = 0; root = fresh_node (); stack = [] }
+
+let current t = match t.stack with [] -> t.root | nd :: _ -> nd
+
+let child (parent : node) name =
+  match Hashtbl.find_opt parent.children name with
+  | Some nd -> nd
+  | None ->
+      let nd = fresh_node () in
+      Hashtbl.replace parent.children name nd;
+      parent.order <- name :: parent.order;
+      nd
 
 let charge t ?(label = "(other)") r =
   if r < 0 then invalid_arg "Rounds.charge: negative";
   t.total <- t.total + r;
-  let cur = Option.value ~default:0 (Hashtbl.find_opt t.tbl label) in
-  Hashtbl.replace t.tbl label (cur + r)
+  let nd = child (current t) label in
+  nd.self <- nd.self + r;
+  nd.charged <- true
 
-let charge_aggregate ?label t ~radius = charge t ?label ((2 * radius) + 2)
+let charge_aggregate ?label t ~radius =
+  if radius < 0 then invalid_arg "Rounds.charge_aggregate: negative radius";
+  charge t ?label ((2 * radius) + 2)
 
 let total t = t.total
 
+let span t name f =
+  let nd = child (current t) name in
+  t.stack <- nd :: t.stack;
+  Fun.protect ~finally:(fun () -> t.stack <- List.tl t.stack) f
+
+let in_order (nd : node) = List.rev nd.order
+
+let rec node_subtotal (nd : node) =
+  List.fold_left
+    (fun acc name -> acc + node_subtotal (Hashtbl.find nd.children name))
+    nd.self (in_order nd)
+
+let rec view name (nd : node) : span =
+  {
+    name;
+    self = nd.self;
+    subtotal = node_subtotal nd;
+    children =
+      List.map (fun nm -> view nm (Hashtbl.find nd.children nm)) (in_order nd);
+  }
+
+let spans t = List.map (fun nm -> view nm (Hashtbl.find t.root.children nm)) (in_order t.root)
+
 let breakdown t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
-  |> List.sort compare
+  let acc = ref [] in
+  let rec go path (nd : node) =
+    List.iter
+      (fun name ->
+        let c = Hashtbl.find nd.children name in
+        let p = path ^ (if path = "" then "" else "/") ^ name in
+        if c.charged then acc := (p, c.self) :: !acc;
+        go p c)
+      (in_order nd)
+  in
+  go "" t.root;
+  List.sort compare !acc
 
 let merge_into dst src =
-  Hashtbl.iter (fun label r -> charge dst ~label r) src.tbl
+  let rec merge_node (dst_nd : node) (src_nd : node) =
+    dst_nd.self <- dst_nd.self + src_nd.self;
+    if src_nd.charged then dst_nd.charged <- true;
+    List.iter
+      (fun name ->
+        merge_node (child dst_nd name) (Hashtbl.find src_nd.children name))
+      (in_order src_nd)
+  in
+  merge_node (current dst) src.root;
+  dst.total <- dst.total + src.total
 
 let pp fmt t =
   Format.fprintf fmt "%d rounds" t.total;
-  List.iter (fun (k, v) -> Format.fprintf fmt "@.  %-28s %8d" k v) (breakdown t)
+  let rec go depth name (nd : node) =
+    let indent = String.make (2 * (depth + 1)) ' ' in
+    let has_children = nd.order <> [] in
+    Format.fprintf fmt "@.%s%-*s %8d" indent
+      (max 1 (28 - (2 * depth)))
+      name
+      (if has_children then node_subtotal nd else nd.self);
+    if has_children && nd.self > 0 then
+      Format.fprintf fmt "@.%s  %-*s %8d" indent
+        (max 1 (28 - (2 * (depth + 1))))
+        "(direct)" nd.self;
+    List.iter (fun nm -> go (depth + 1) nm (Hashtbl.find nd.children nm)) (in_order nd)
+  in
+  List.iter (fun nm -> go 0 nm (Hashtbl.find t.root.children nm)) (in_order t.root)

@@ -7,26 +7,57 @@
     costs O(r), a pipelined count over a depth-d tree costs O(d + t), one
     network-decomposition colour class costs its weak diameter, ...).  A
     [Rounds.t] tallies those charges so the bench harness can report
-    simulated round complexities that follow the paper's accounting. *)
+    simulated round complexities that follow the paper's accounting.
+
+    Charges are organised as a tree of named {e spans}
+    (algorithm → phase → step): {!span} opens a nested span for the
+    duration of a callback, and every {!charge} lands under the innermost
+    open span.  Charging with no open span (the pre-span flat API) puts the
+    label directly at the root, so one-level users see exactly the old
+    behaviour. *)
 
 type t
+
+type span = {
+  name : string;
+  self : int;  (** rounds charged directly to this span *)
+  subtotal : int;  (** self plus every descendant *)
+  children : span list;  (** in first-charge order *)
+}
 
 val create : unit -> t
 
 val charge : t -> ?label:string -> int -> unit
-(** Add the given number of rounds ([>= 0]) under an optional label. *)
+(** Add the given number of rounds under an optional label, inside the
+    innermost open span.  Raises [Invalid_argument] on a negative charge
+    (the documented [>= 0] precondition is enforced). *)
 
 val charge_aggregate : ?label:string -> t -> radius:int -> unit
 (** Convergecast + broadcast over a tree of the given hop radius:
-    [2·radius + 2] rounds. *)
+    [2·radius + 2] rounds.  Raises [Invalid_argument] on a negative
+    radius. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] with a span named [name] opened under the
+    current span: every charge made during [f] is attributed to (a child
+    of) that span.  Re-entering an existing name accumulates into the same
+    node; the span is closed even if [f] raises. *)
 
 val total : t -> int
 
 val breakdown : t -> (string * int) list
-(** Per-label subtotals, sorted by label; unlabeled charges appear under
-    ["(other)"]. *)
+(** Per-label subtotals as ["algorithm/phase/label"] slash-joined paths,
+    sorted; only directly-charged nodes appear.  Charges made with no open
+    span keep their bare label (unlabeled ones under ["(other)"]), so flat
+    users see the historical output. *)
+
+val spans : t -> span list
+(** The span forest under the root, in first-charge order. *)
 
 val merge_into : t -> t -> unit
-(** [merge_into dst src] adds all of [src]'s charges to [dst]. *)
+(** [merge_into dst src] adds all of [src]'s charges to [dst], grafting
+    [src]'s span tree under [dst]'s innermost open span. *)
 
 val pp : Format.formatter -> t -> unit
+(** Total, then the span tree (subtotals on inner nodes, self-charges on
+    leaves), indented two spaces per level. *)

@@ -1,0 +1,239 @@
+open! Import
+module Stats = Util.Stats
+
+type round_record = {
+  round : int;
+  active : int;
+  delivered : int;
+  words : int;
+  drops : int;
+  crashes : int;
+  severs : int;
+  halted : int;
+}
+
+type t = {
+  g : Graph.t;
+  mutable recs_rev : round_record list;
+  sent : int array;
+  received : int array;
+  edge_load : int array;
+  (* accumulators for the round in progress *)
+  mutable cur_active : int;
+  mutable cur_delivered : int;
+  mutable cur_words : int;
+  mutable cur_drops : int;
+  mutable cur_crashes : int;
+  mutable cur_severs : int;
+  (* last cumulative fault counters seen, for per-round deltas *)
+  mutable seen_crashed : int;
+  mutable seen_severed : int;
+  mutable used : bool;
+}
+
+let create g =
+  {
+    g;
+    recs_rev = [];
+    sent = Array.make (Graph.n g) 0;
+    received = Array.make (Graph.n g) 0;
+    edge_load = Array.make (Graph.m g) 0;
+    cur_active = 0;
+    cur_delivered = 0;
+    cur_words = 0;
+    cur_drops = 0;
+    cur_crashes = 0;
+    cur_severs = 0;
+    seen_crashed = 0;
+    seen_severed = 0;
+    used = false;
+  }
+
+let graph t = t.g
+
+(* ---------- simulator hooks ---------- *)
+
+let start t ~n =
+  if t.used then
+    invalid_arg "Trace.start: sink already used (build a fresh one)";
+  if n <> Array.length t.sent then
+    invalid_arg "Trace.start: sink was built for a different graph";
+  t.used <- true
+
+let note_fault_counters t ~crashed ~severed =
+  t.cur_crashes <- t.cur_crashes + (crashed - t.seen_crashed);
+  t.cur_severs <- t.cur_severs + (severed - t.seen_severed);
+  t.seen_crashed <- crashed;
+  t.seen_severed <- severed
+
+let note_step t = t.cur_active <- t.cur_active + 1
+
+let note_send t ~sender ~target ~words =
+  t.sent.(sender) <- t.sent.(sender) + 1;
+  t.received.(target) <- t.received.(target) + 1;
+  t.cur_delivered <- t.cur_delivered + 1;
+  t.cur_words <- t.cur_words + words;
+  match Graph.find_edge t.g sender target with
+  | Some eid -> t.edge_load.(eid) <- t.edge_load.(eid) + 1
+  | None -> ()
+(* unreachable: Network validated the neighbour *)
+
+let note_drop t = t.cur_drops <- t.cur_drops + 1
+
+let end_round t ~round ~halted =
+  t.recs_rev <-
+    {
+      round;
+      active = t.cur_active;
+      delivered = t.cur_delivered;
+      words = t.cur_words;
+      drops = t.cur_drops;
+      crashes = t.cur_crashes;
+      severs = t.cur_severs;
+      halted;
+    }
+    :: t.recs_rev;
+  t.cur_active <- 0;
+  t.cur_delivered <- 0;
+  t.cur_words <- 0;
+  t.cur_drops <- 0;
+  t.cur_crashes <- 0;
+  t.cur_severs <- 0
+
+(* ---------- accessors ---------- *)
+
+let rounds t = Array.of_list (List.rev t.recs_rev)
+let sent t = Array.copy t.sent
+let received t = Array.copy t.received
+let edge_load t = Array.copy t.edge_load
+
+let total_delivered t =
+  List.fold_left (fun acc r -> acc + r.delivered) 0 t.recs_rev
+
+let total_fault_events t =
+  List.fold_left (fun acc r -> acc + r.drops + r.crashes + r.severs) 0 t.recs_rev
+
+(* ---------- JSONL export ---------- *)
+
+let jsonl_round r =
+  Printf.sprintf
+    "{\"round\":%d,\"active\":%d,\"delivered\":%d,\"words\":%d,\"drops\":%d,\"crashes\":%d,\"severs\":%d,\"halted\":%d}"
+    r.round r.active r.delivered r.words r.drops r.crashes r.severs r.halted
+
+let round_of_jsonl line =
+  match
+    Scanf.sscanf line
+      "{\"round\":%d,\"active\":%d,\"delivered\":%d,\"words\":%d,\"drops\":%d,\"crashes\":%d,\"severs\":%d,\"halted\":%d}"
+      (fun round active delivered words drops crashes severs halted ->
+        { round; active; delivered; words; drops; crashes; severs; halted })
+  with
+  | r -> Some r
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf (jsonl_round r);
+      Buffer.add_char buf '\n')
+    (rounds t);
+  Array.iteri
+    (fun v s ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"node\":%d,\"sent\":%d,\"received\":%d}\n" v s
+           t.received.(v)))
+    t.sent;
+  Array.iteri
+    (fun eid load ->
+      if load > 0 then begin
+        let u, v = Graph.endpoints t.g eid in
+        Buffer.add_string buf
+          (Printf.sprintf "{\"edge\":%d,\"u\":%d,\"v\":%d,\"load\":%d}\n" eid u
+             v load)
+      end)
+    t.edge_load;
+  Buffer.contents buf
+
+(* ---------- Chrome trace-event export (Perfetto-loadable) ---------- *)
+
+(* One "process", rounds as X duration slices on a synthetic microsecond
+   timeline (1 round = 1000 ticks), plus C counter tracks for messages and
+   node activity. *)
+let to_chrome t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"ultraspan CONGEST\"}}";
+  Array.iter
+    (fun r ->
+      let ts = r.round * 1000 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"round %d\",\"ph\":\"X\",\"ts\":%d,\"dur\":1000,\"pid\":0,\"tid\":0,\"args\":{\"active\":%d,\"delivered\":%d,\"drops\":%d}}"
+           r.round ts r.active r.delivered r.drops);
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"messages\",\"ph\":\"C\",\"ts\":%d,\"pid\":0,\"args\":{\"delivered\":%d,\"words\":%d,\"drops\":%d}}"
+           ts r.delivered r.words r.drops);
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"nodes\",\"ph\":\"C\",\"ts\":%d,\"pid\":0,\"args\":{\"active\":%d,\"halted\":%d}}"
+           ts r.active r.halted))
+    (rounds t);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+(* ---------- plain-text summary ---------- *)
+
+let top_edges t k =
+  let loaded = ref [] in
+  Array.iteri
+    (fun eid load -> if load > 0 then loaded := (load, eid) :: !loaded)
+    t.edge_load;
+  let sorted = List.sort (fun a b -> compare b a) !loaded in
+  List.filteri (fun i _ -> i < k) sorted
+
+let pp_summary ?(top = 5) fmt t =
+  let recs = rounds t in
+  let n_rounds = Array.length recs in
+  let delivered = total_delivered t in
+  let drops = List.fold_left (fun a r -> a + r.drops) 0 t.recs_rev in
+  Format.fprintf fmt "trace: %d rounds, %d messages delivered, %d dropped@."
+    n_rounds delivered drops;
+  if n_rounds > 0 then begin
+    let per_round =
+      Array.map (fun r -> float_of_int r.delivered) recs
+    in
+    Format.fprintf fmt
+      "  messages/round: mean %.1f, median %.1f, p95 %.1f, max %.0f@."
+      (Stats.mean per_round)
+      (Stats.median per_round)
+      (Stats.percentile per_round 0.95)
+      (snd (Stats.min_max per_round))
+  end;
+  let per_node = Array.map float_of_int t.sent in
+  if Array.length per_node > 0 then
+    Format.fprintf fmt
+      "  sends/node: mean %.1f, median %.1f, p95 %.1f, max %.0f@."
+      (Stats.mean per_node)
+      (Stats.median per_node)
+      (Stats.percentile per_node 0.95)
+      (snd (Stats.min_max per_node));
+  (match top_edges t top with
+  | [] -> ()
+  | edges ->
+      Format.fprintf fmt "  top congested edges:@.";
+      List.iter
+        (fun (load, eid) ->
+          let u, v = Graph.endpoints t.g eid in
+          Format.fprintf fmt "    %4d-%-4d %6d msgs@." u v load)
+        edges);
+  (* histogram of the per-node send distribution (degenerate data folds to
+     a single bucket — see Stats.histogram) *)
+  if Array.length per_node > 0 then begin
+    Format.fprintf fmt "  per-node send histogram:@.";
+    Array.iter
+      (fun (lo, hi, c) ->
+        Format.fprintf fmt "    [%6.1f, %6.1f) %6d@." lo hi c)
+      (Stats.histogram ~bins:6 per_node)
+  end

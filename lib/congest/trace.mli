@@ -1,0 +1,109 @@
+open! Import
+
+(** Per-round execution traces of {!Network.run}.
+
+    A [Trace.t] is an optional event sink: pass one to [Network.run ?trace]
+    and it records, with {e zero behaviour change} to the run itself,
+
+    - a {!round_record} per simulator round — node activations, messages
+      delivered, total words, fault damage (drops / crashes / severed
+      links) and the halted-node count;
+    - per-node send and receive counters;
+    - per-edge load counters (messages that traversed each edge, for
+      congestion hot-spot analysis).
+
+    Counting conventions: a message is attributed to the round in which it
+    was {e sent} (matching [Network.stats.messages], which counts at send
+    time); [sent]/[received]/[edge_load] count delivered messages only,
+    with fault losses reported separately per round.  The summed per-round
+    counters therefore reconcile exactly with [Network.stats] and the
+    {!Faults.events} log (tested).
+
+    Sinks are single-use, like fault injectors: build a fresh one per run.
+    All recorded data is a pure function of the run, so a seeded run's
+    exported trace replays bit-identically. *)
+
+type round_record = {
+  round : int;
+  active : int;  (** nodes that executed their round function *)
+  delivered : int;  (** messages sent this round that reached [pending] *)
+  words : int;  (** total payload words across those messages *)
+  drops : int;  (** messages lost to faults this round (incl. in-flight) *)
+  crashes : int;  (** crash-stop failures applied this round *)
+  severs : int;  (** link failures applied this round *)
+  halted : int;  (** nodes halted at the end of the round *)
+}
+
+type t
+
+val create : Graph.t -> t
+(** A fresh sink for one run on the given graph. *)
+
+val graph : t -> Graph.t
+
+(** {1 Recorded data} *)
+
+val rounds : t -> round_record array
+(** Chronological per-round records. *)
+
+val sent : t -> int array
+(** Messages each node successfully sent (copy). *)
+
+val received : t -> int array
+(** Messages delivered to each node (copy). *)
+
+val edge_load : t -> int array
+(** Delivered messages per edge id, both directions combined (copy). *)
+
+val total_delivered : t -> int
+val total_fault_events : t -> int
+(** Sum of per-round [drops + crashes + severs]; equals
+    [List.length (Faults.events f)] for the run's injector. *)
+
+(** {1 Exporters} *)
+
+val to_jsonl : t -> string
+(** One JSON object per line: every round record, then per-node counters,
+    then per-edge loads (loaded edges only).  Deterministic byte-for-byte
+    for a seeded run. *)
+
+val round_of_jsonl : string -> round_record option
+(** Parse one round line of {!to_jsonl} back; [None] for per-node/per-edge
+    lines (or anything else).  [to_jsonl] followed by [round_of_jsonl] on
+    each line round-trips the record array exactly (tested). *)
+
+val to_chrome : t -> string
+(** Chrome trace-event JSON (load in Perfetto / chrome://tracing): rounds
+    as duration slices on a synthetic 1000-ticks-per-round timeline, plus
+    counter tracks for message volume and node activity. *)
+
+val pp_summary : ?top:int -> Format.formatter -> t -> unit
+(** Plain-text digest: totals, per-round and per-node message percentiles,
+    the [top] (default 5) most congested edges, and a per-node send
+    histogram — all via {!Ultraspan_util.Stats}. *)
+
+(** {1 Simulator hooks}
+
+    Called by {!Network.run}; user code never needs these, but they are
+    exposed so alternative simulators can reuse the sink. *)
+
+val start : t -> n:int -> unit
+(** Mark the sink used and check it matches a network of [n] nodes.
+    Raises [Invalid_argument] on reuse or size mismatch. *)
+
+val note_fault_counters : t -> crashed:int -> severed:int -> unit
+(** Feed the injector's cumulative crash/sever counters after
+    [Faults.begin_round]; the sink derives this round's deltas. *)
+
+val note_step : t -> unit
+(** A node executed its round function. *)
+
+val note_send : t -> sender:int -> target:int -> words:int -> unit
+(** A message survived fault filtering and was enqueued. *)
+
+val note_drop : t -> unit
+(** A delivery was lost to faults (probabilistic, severed link, or crashed
+    receiver — including in-flight losses). *)
+
+val end_round : t -> round:int -> halted:int -> unit
+(** Seal the round in progress into a {!round_record}. *)

@@ -7,7 +7,9 @@
     - {!Graph} and friends — the CSR graph substrate with stable edge ids.
     - {!Network}, {!Programs}, {!Rounds} — the CONGEST simulator and round
       accounting; {!Faults} — deterministic fault schedules (crashes, link
-      failures, message drops) for running programs under adversity.
+      failures, message drops) for running programs under adversity;
+      {!Trace} — per-round/per-node/per-edge execution traces with JSONL
+      and Chrome-trace exporters; {!Profile} — wall-clock phase timers.
     - {!Coloring}, {!Network_decomposition}, {!Separated_clustering},
       {!Ruling_set} — distributed decomposition primitives.
 
@@ -30,6 +32,7 @@ module Bitset = Ultraspan_util.Bitset
 module Union_find = Ultraspan_util.Union_find
 module Stats = Ultraspan_util.Stats
 module Hash_family = Ultraspan_util.Hash_family
+module Profile = Ultraspan_util.Profile
 
 (* Graphs *)
 module Graph = Ultraspan_graph.Graph
@@ -52,6 +55,7 @@ module Cycles = Ultraspan_graph.Cycles
 (* CONGEST *)
 module Network = Ultraspan_congest.Network
 module Faults = Ultraspan_congest.Faults
+module Trace = Ultraspan_congest.Trace
 module Programs = Ultraspan_congest.Programs
 module Cluster_programs = Ultraspan_congest.Cluster_programs
 module Rounds = Ultraspan_congest.Rounds

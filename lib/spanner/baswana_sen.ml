@@ -26,9 +26,13 @@ let run ~rng ?k g =
   let p = float_of_int (max 2 n) ** (-1.0 /. float_of_int k) in
   let state = Bs_core.create g in
   let rounds = Rounds.create () in
-  let stats = iterations ~rng ~state ~p ~iters:(k - 1) ~rounds in
-  let last = Bs_core.finish state in
-  Rounds.charge_aggregate ~label:"bs:final" rounds ~radius:k;
+  let stats, last =
+    Rounds.span rounds "baswana-sen" (fun () ->
+        let stats = iterations ~rng ~state ~p ~iters:(k - 1) ~rounds in
+        let last = Bs_core.finish state in
+        Rounds.charge_aggregate ~label:"bs:final" rounds ~radius:k;
+        (stats, last))
+  in
   let spanner =
     { Spanner.keep = Array.copy (Bs_core.spanner_mask state); rounds }
   in

@@ -186,9 +186,10 @@ let simulate ?mode ?(ordering = Simple) ~state ~p ~iters ~rounds () =
           let l = int_of_float (ceil (Float.log2 n0f)) in
           (l + 1, 4 * l)
     in
-    Rounds.charge ~label:"bs-derand:fixing" rounds
-      (n_colors * bits * ((2 * (i + nd_diam)) + 2));
-    Rounds.charge_aggregate ~label:"bs:iteration" rounds ~radius:i;
+    Rounds.span rounds (Printf.sprintf "iter-%d" i) (fun () ->
+        Rounds.charge ~label:"bs-derand:fixing" rounds
+          (n_colors * bits * ((2 * (i + nd_diam)) + 2));
+        Rounds.charge_aggregate ~label:"bs:iteration" rounds ~radius:i);
     (* Lemma 3.3 guarantees, now deterministic facts. *)
     let cluster_bound =
       int_of_float (floor ((n0f *. (p ** float_of_int i)) +. 1e-6))
@@ -240,14 +241,18 @@ let run ?(ordering = Simple) ?k g =
   let state = Bs_core.create g in
   let rounds = Rounds.create () in
   let guarantees =
-    if k = 1 then []
-    else begin
-      let p = float_of_int (max 2 n) ** (-1.0 /. float_of_int k) in
-      simulate ~ordering ~state ~p ~iters:(k - 1) ~rounds ()
-    end
+    Rounds.span rounds "bs-derand" (fun () ->
+        let guarantees =
+          if k = 1 then []
+          else begin
+            let p = float_of_int (max 2 n) ** (-1.0 /. float_of_int k) in
+            simulate ~ordering ~state ~p ~iters:(k - 1) ~rounds ()
+          end
+        in
+        ignore (Bs_core.finish state);
+        Rounds.charge_aggregate ~label:"bs:final" rounds ~radius:k;
+        guarantees)
   in
-  ignore (Bs_core.finish state);
-  Rounds.charge_aggregate ~label:"bs:final" rounds ~radius:k;
   let spanner =
     { Spanner.keep = Array.copy (Bs_core.spanner_mask state); rounds }
   in

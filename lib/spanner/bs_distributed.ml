@@ -19,7 +19,7 @@ type state = {
   spanner_nbrs : int list; (* neighbours across spanner edges (local output) *)
 }
 
-let run ~seed ~k g =
+let run ?trace ~seed ~k g =
   if k < 1 then invalid_arg "Bs_distributed.run: k >= 1";
   let n = Graph.n g in
   let p =
@@ -152,7 +152,7 @@ let run ~seed ~k g =
           end);
     }
   in
-  let states, network_stats = Network.run ~word_limit:4 g program in
+  let states, network_stats = Network.run ~word_limit:4 ?trace g program in
   (* Collect the distributed output. *)
   let keep = Array.make (Graph.m g) false in
   Array.iteri
@@ -165,6 +165,7 @@ let run ~seed ~k g =
         st.spanner_nbrs)
     states;
   let rounds = Ultraspan_congest.Rounds.create () in
-  Ultraspan_congest.Rounds.charge ~label:"bs-congest:protocol" rounds
-    network_stats.Network.rounds;
+  Ultraspan_congest.Rounds.span rounds "bs-congest" (fun () ->
+      Ultraspan_congest.Rounds.charge ~label:"protocol" rounds
+        network_stats.Network.rounds);
   { spanner = { Spanner.keep; rounds }; network_stats }

@@ -29,6 +29,8 @@ type outcome = {
       (** real measured rounds/messages of the protocol run *)
 }
 
-val run : seed:int -> k:int -> Graph.t -> outcome
+val run :
+  ?trace:Ultraspan_congest.Trace.t -> seed:int -> k:int -> Graph.t -> outcome
 (** [run ~seed ~k g]: (2k-1)-spanner.  [seed] keys the shared hash family.
-    Requires [k >= 1]. *)
+    Requires [k >= 1].  [trace] attaches a {!Ultraspan_congest.Trace} sink
+    to the protocol run (pure observation). *)

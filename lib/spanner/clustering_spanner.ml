@@ -88,8 +88,10 @@ let sparse ?(separation = 3) g =
           chosen
       end
     done;
-    Rounds.charge ~label:"cl-sparse:step" rounds
-      ((2 * Network_decomposition.rounds_bound g / 8) + 4);
+    Rounds.span rounds "cl-sparse" (fun () ->
+        Rounds.span rounds (Printf.sprintf "step-%d" !step_no) (fun () ->
+            Rounds.charge ~label:"decomposition-wave" rounds
+              ((2 * Network_decomposition.rounds_bound g / 8) + 4)));
     Pram.charge ~label:"cl-sparse:step" pram
       ~work:((4 * Graph.m g) + n)
       ~depth:(!max_diam + 1 + int_of_float (Float.log2 (float_of_int (n + 2))));
@@ -231,8 +233,10 @@ let ultra_sparse ~t g =
         end
       end
     done;
-    Rounds.charge ~label:"cl-ultra:step" rounds
-      ((2 * Network_decomposition.rounds_bound g / 8) + (10 * t) + 4);
+    Rounds.span rounds "cl-ultra" (fun () ->
+        Rounds.span rounds (Printf.sprintf "step-%d" !step_no) (fun () ->
+            Rounds.charge ~label:"decomposition-wave" rounds
+              ((2 * Network_decomposition.rounds_bound g / 8) + (10 * t) + 4)));
     Pram.charge ~label:"cl-ultra:step" pram
       ~work:((4 * Graph.m g) + n)
       ~depth:(!max_diam + (4 * t) + 1

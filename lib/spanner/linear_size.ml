@@ -59,9 +59,11 @@ let run ?(variant = Deterministic) g0 =
   let to_base = ref (Array.init (Graph.m g0) (fun i -> i)) in
   let radius_bound = ref 0 in
   let stop = ref false in
+  Rounds.span rounds "linear-size" (fun () ->
   List.iteri
     (fun idx (x, g_iters) ->
-      if not !stop then begin
+      if not !stop then
+        Rounds.span rounds (Printf.sprintf "phase-%d" (idx + 1)) (fun () ->
         let gi = !current in
         let last_phase = idx = n_phases - 1 in
         let n_i = Graph.n gi in
@@ -134,8 +136,7 @@ let run ?(variant = Deterministic) g0 =
             current := q;
             radius_bound := ((2 * g_iters) + 1) * (!radius_bound + 1)
           end
-        end
-      end)
-    sched;
+        end))
+    sched);
   let spanner = { Spanner.keep = spanner_keep; rounds } in
   { spanner; phases = List.rev !phases; stretch_bound = !stretch_bound }

@@ -174,8 +174,10 @@ let partition_with_strategy ~strategy ~t g =
       cluster_of.(v) <- new_of.(cluster_of.(v))
     done;
     roots := Array.of_list (List.rev !new_roots);
-    Rounds.charge ~label:"sf:iteration" rounds
-      ((2 * 3 * (1 lsl i)) + (coloring.Coloring.iterations + 6));
+    Rounds.span rounds "stretch-friendly" (fun () ->
+        Rounds.span rounds (Printf.sprintf "iter-%d" i) (fun () ->
+            Rounds.charge ~label:"sf:iteration" rounds
+              ((2 * 3 * (1 lsl i)) + (coloring.Coloring.iterations + 6))));
     ignore coloring
   done;
   let p =

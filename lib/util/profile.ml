@@ -1,0 +1,45 @@
+type entry = { mutable seconds : float; mutable calls : int }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* reverse insertion order *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let entry t label =
+  match Hashtbl.find_opt t.tbl label with
+  | Some e -> e
+  | None ->
+      let e = { seconds = 0.0; calls = 0 } in
+      Hashtbl.replace t.tbl label e;
+      t.order <- label :: t.order;
+      e
+
+let record t label dt =
+  if dt < 0.0 then invalid_arg "Profile.record: negative duration";
+  let e = entry t label in
+  e.seconds <- e.seconds +. dt;
+  e.calls <- e.calls + 1
+
+let time t label f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record t label (Unix.gettimeofday () -. t0)) f
+
+let phases t =
+  List.rev_map
+    (fun label ->
+      let e = Hashtbl.find t.tbl label in
+      (label, e.seconds, e.calls))
+    t.order
+
+let total t =
+  Hashtbl.fold (fun _ e acc -> acc +. e.seconds) t.tbl 0.0
+
+let pp fmt t =
+  Format.fprintf fmt "%.3f s total" (total t);
+  List.iter
+    (fun (label, s, calls) ->
+      Format.fprintf fmt "@.  %-28s %9.3f s %6d call%s" label s calls
+        (if calls = 1 then "" else "s"))
+    (phases t)

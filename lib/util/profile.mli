@@ -1,0 +1,27 @@
+(** Wall-clock phase timers for the bench harness and the CLI.
+
+    A [Profile.t] accumulates elapsed wall-clock seconds under named
+    phases: wrap each phase in {!time} (or feed durations measured
+    elsewhere to {!record}) and print the ledger with {!pp}.  Phases keep
+    first-use order; re-entering a label accumulates into it.  This is
+    observability only — timing a phase never changes its result. *)
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t label f] runs [f], adds its elapsed wall-clock time under
+    [label] (even if [f] raises), and returns [f ()]'s result. *)
+
+val record : t -> string -> float -> unit
+(** Add a duration in seconds measured externally.  Raises
+    [Invalid_argument] on a negative duration. *)
+
+val phases : t -> (string * float * int) list
+(** [(label, total seconds, call count)] per phase, in first-use order. *)
+
+val total : t -> float
+(** Sum of all phase durations. *)
+
+val pp : Format.formatter -> t -> unit

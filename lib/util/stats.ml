@@ -40,7 +40,13 @@ let histogram ~bins xs =
   if Array.length xs = 0 then [||]
   else begin
     let lo, hi = min_max xs in
-    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    if hi = lo then
+      (* Degenerate data (all samples equal): one zero-width bucket at the
+         data's own value, rather than [bins] buckets of an arbitrary
+         width-1 grid unrelated to the data's scale. *)
+      [| (lo, hi, Array.length xs) |]
+    else begin
+    let width = (hi -. lo) /. float_of_int bins in
     let counts = Array.make bins 0 in
     Array.iter
       (fun x ->
@@ -53,6 +59,7 @@ let histogram ~bins xs =
         let l = lo +. (float_of_int i *. width) in
         (l, l +. width, c))
       counts
+    end
   end
 
 let mean_int xs = mean (Array.map float_of_int xs)

@@ -19,7 +19,10 @@ val median : float array -> float
 
 val histogram : bins:int -> float array -> (float * float * int) array
 (** [histogram ~bins xs] partitions [\[min, max\]] into [bins] equal-width
-    buckets and returns [(lo, hi, count)] per bucket. *)
+    buckets and returns [(lo, hi, count)] per bucket.  Constant data
+    (min = max) degenerates to a single zero-width bucket [(x, x, n)]
+    holding every sample; an empty array yields no buckets.  Raises
+    [Invalid_argument] when [bins <= 0]. *)
 
 val mean_int : int array -> float
 

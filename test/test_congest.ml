@@ -222,7 +222,60 @@ let rounds_merge () =
 let rounds_rejects_negative () =
   let r = Rounds.create () in
   Alcotest.check_raises "negative" (Invalid_argument "Rounds.charge: negative")
-    (fun () -> Rounds.charge r (-1))
+    (fun () -> Rounds.charge r (-1));
+  Alcotest.check_raises "negative radius"
+    (Invalid_argument "Rounds.charge_aggregate: negative radius") (fun () ->
+      Rounds.charge_aggregate r ~radius:(-1))
+
+let rounds_spans () =
+  let r = Rounds.create () in
+  Rounds.span r "algo" (fun () ->
+      Rounds.charge ~label:"setup" r 2;
+      Rounds.span r "phase-1" (fun () -> Rounds.charge ~label:"wave" r 5));
+  Rounds.charge r 1;
+  Alcotest.(check int) "total" 8 (Rounds.total r);
+  Alcotest.(check (list (pair string int)))
+    "breakdown is path-qualified"
+    [ ("(other)", 1); ("algo/phase-1/wave", 5); ("algo/setup", 2) ]
+    (Rounds.breakdown r);
+  match Rounds.spans r with
+  | [ algo; other ] ->
+      Alcotest.(check string) "first span" "algo" algo.Rounds.name;
+      Alcotest.(check int) "algo subtotal" 7 algo.Rounds.subtotal;
+      Alcotest.(check int) "algo direct" 0 algo.Rounds.self;
+      Alcotest.(check string) "flat charge is a leaf span" "(other)"
+        other.Rounds.name;
+      (match algo.Rounds.children with
+      | [ setup; phase ] ->
+          Alcotest.(check string) "setup leaf" "setup" setup.Rounds.name;
+          Alcotest.(check int) "setup rounds" 2 setup.Rounds.subtotal;
+          Alcotest.(check string) "phase node" "phase-1" phase.Rounds.name;
+          Alcotest.(check int) "phase subtotal" 5 phase.Rounds.subtotal
+      | _ -> Alcotest.fail "expected two children under algo")
+  | _ -> Alcotest.fail "expected two top-level spans"
+
+let rounds_span_unwinds_on_exception () =
+  let r = Rounds.create () in
+  (try
+     Rounds.span r "boom" (fun () ->
+         Rounds.charge ~label:"partial" r 3;
+         failwith "bang")
+   with Failure _ -> ());
+  Rounds.charge ~label:"after" r 2;
+  Alcotest.(check (list (pair string int)))
+    "stack popped by the exception"
+    [ ("after", 2); ("boom/partial", 3) ]
+    (Rounds.breakdown r)
+
+let rounds_merge_preserves_spans () =
+  let a = Rounds.create () and b = Rounds.create () in
+  Rounds.span b "inner" (fun () -> Rounds.charge ~label:"w" b 4);
+  Rounds.span a "outer" (fun () -> Rounds.merge_into a b);
+  Alcotest.(check int) "merged total" 4 (Rounds.total a);
+  Alcotest.(check (list (pair string int)))
+    "merged under the receiving span"
+    [ ("outer/inner/w", 4) ]
+    (Rounds.breakdown a)
 
 let suite =
   [
@@ -242,6 +295,9 @@ let suite =
     case "rounds: accounting" rounds_accounting;
     case "rounds: merge" rounds_merge;
     case "rounds: rejects negative" rounds_rejects_negative;
+    case "rounds: span tree" rounds_spans;
+    case "rounds: span unwinds on exception" rounds_span_unwinds_on_exception;
+    case "rounds: merge preserves spans" rounds_merge_preserves_spans;
   ]
 
 (* ---------- cluster-tree primitives ---------- *)

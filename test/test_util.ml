@@ -220,6 +220,33 @@ let stats_histogram () =
   let total = Array.fold_left (fun a (_, _, c) -> a + c) 0 h in
   Alcotest.(check int) "counts sum" 5 total
 
+let stats_histogram_constant () =
+  (* all-equal data used to produce zero-width buckets with every count in
+     the last one; now it degenerates to a single explicit bucket *)
+  let h = Stats.histogram ~bins:5 [| 2.5; 2.5; 2.5 |] in
+  Alcotest.(check int) "one bucket" 1 (Array.length h);
+  let lo, hi, c = h.(0) in
+  Alcotest.(check (float 1e-9)) "lo" 2.5 lo;
+  Alcotest.(check (float 1e-9)) "hi" 2.5 hi;
+  Alcotest.(check int) "count" 3 c;
+  let single = Stats.histogram ~bins:3 [| 7.0 |] in
+  Alcotest.(check int) "singleton input" 1 (Array.length single)
+
+let profile_basics () =
+  let p = Profile.create () in
+  let x = Profile.time p "work" (fun () -> 1 + 1) in
+  Alcotest.(check int) "result threaded through" 2 x;
+  ignore (Profile.time p "work" (fun () -> ()));
+  Profile.record p "fixed" 0.5;
+  (match Profile.phases p with
+  | [ ("work", _, 2); ("fixed", s, 1) ] ->
+      Alcotest.(check (float 1e-9)) "recorded seconds" 0.5 s
+  | _ -> Alcotest.fail "expected [work x2; fixed x1] in first-use order");
+  Alcotest.(check bool) "total >= recorded" true (Profile.total p >= 0.5);
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Profile.record: negative duration") (fun () ->
+      Profile.record p "fixed" (-1.0))
+
 let stats_empty () =
   Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean [||]);
   Alcotest.check_raises "min_max empty"
@@ -322,7 +349,9 @@ let suite =
     case "union_find: counts" union_find_counts;
     case "stats: basics" stats_basics;
     case "stats: histogram" stats_histogram;
+    case "stats: histogram constant data" stats_histogram_constant;
     case "stats: empty" stats_empty;
+    case "profile: basics" profile_basics;
     case "hash_family: deterministic" hash_family_deterministic;
     hash_family_range;
     case "hash_family: marginals" hash_family_marginals;
