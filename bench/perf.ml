@@ -1,0 +1,371 @@
+(* Perf baseline harness for the CONGEST simulator (EXPERIMENTS.md §P1).
+
+   Bechamel microbenchmarks of the simulator hot path:
+   - message-plane throughput (flood workload) under both engines, which is
+     the Fast-vs-Ref speedup the baseline records;
+   - whole-protocol rounds-per-second (BFS, distributed Baswana-Sen,
+     spanning forest — the Thurimella substrate) at several n.
+
+   Results are written as JSON (default [BENCH_congest.json]) so future
+   PRs can diff against the recorded baseline.
+
+   Usage:
+     perf [--quick] [-o FILE]   run the suite, write FILE
+     perf --validate FILE       check FILE parses and each suite ran *)
+
+open Ultraspan
+
+(* ------------------------------------------------------------------ *)
+(* workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mp_n = 2000
+let mp_avg_degree = 8.0
+let flood_rounds = 8
+
+let mp_graph () =
+  Generators.connected_gnp ~rng:(Rng.create 42) ~n:mp_n
+    ~avg_degree:mp_avg_degree
+
+(* Flood workload: every node sends one word to every neighbour, every
+   round, for [flood_rounds] rounds.  The outbox is precomputed in the
+   initial state, so per-round program cost is negligible and the engine's
+   message plane dominates the measurement. *)
+let flood_program =
+  {
+    Network.init =
+      (fun g v ->
+        List.rev (Graph.fold_adj g v (fun acc u _ -> (u, [| v land 0xffff |]) :: acc) []));
+    round =
+      (fun _ ~round ~me:_ out _ ->
+        if round >= flood_rounds then { Network.state = out; out = []; halt = true }
+        else { Network.state = out; out; halt = false });
+  }
+
+let protocol_sizes ~quick = if quick then [ 512; 2048 ] else [ 512; 2048; 8192 ]
+
+let protocol_graph n =
+  Generators.connected_gnp ~rng:(Rng.create 43) ~n ~avg_degree:8.0
+
+let weighted_graph n =
+  Generators.randomize_weights ~rng:(Rng.create 2) ~lo:1 ~hi:1000
+    (protocol_graph n)
+
+(* ------------------------------------------------------------------ *)
+(* measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  name : string;
+  kind : string;
+  n : int;
+  runs : int;
+  ns_per_run : float;
+  messages_per_run : int;
+  rounds_per_run : int;
+}
+
+let messages_per_sec r =
+  float_of_int r.messages_per_run /. (r.ns_per_run *. 1e-9)
+
+let rounds_per_sec r = float_of_int r.rounds_per_run /. (r.ns_per_run *. 1e-9)
+
+(* One bechamel measurement: OLS estimate of ns/run plus the sample count,
+   paired with the workload's per-run stats (measured once, outside the
+   clock). *)
+let measure ~quick ~name ~kind ~n ~stats f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let elt = List.hd (Test.elements test) in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.25) ~kde:None ()
+    else Benchmark.cfg ~limit:300 ~quota:(Time.second 2.0) ~kde:None ()
+  in
+  let b = Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt in
+  let ns_per_run =
+    let ols =
+      Analyze.one
+        (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock b
+    in
+    match Analyze.OLS.estimates ols with
+    | Some (est :: _) -> est
+    | _ -> Float.nan
+  in
+  let stats : Network.stats = stats in
+  {
+    name;
+    kind;
+    n;
+    runs = b.Benchmark.stats.Benchmark.samples;
+    ns_per_run;
+    messages_per_run = stats.Network.messages;
+    rounds_per_run = stats.Network.rounds;
+  }
+
+let message_plane_rows ~quick =
+  let g = mp_graph () in
+  let run engine () = ignore (Network.run ~engine g flood_program) in
+  let stats engine = snd (Network.run ~engine g flood_program) in
+  let fast =
+    measure ~quick ~name:"mp:fast" ~kind:"message-plane" ~n:mp_n
+      ~stats:(stats `Fast) (run `Fast)
+  in
+  let ref_ =
+    measure ~quick ~name:"mp:ref" ~kind:"message-plane" ~n:mp_n
+      ~stats:(stats `Ref) (run `Ref)
+  in
+  [ fast; ref_ ]
+
+let protocol_rows ~quick =
+  List.concat_map
+    (fun n ->
+      let g = protocol_graph n in
+      let gw = weighted_graph n in
+      let sized name = Printf.sprintf "%s:n=%d" name n in
+      [
+        measure ~quick ~name:(sized "bfs") ~kind:"protocol" ~n
+          ~stats:(snd (Programs.bfs g ~root:0))
+          (fun () -> ignore (Programs.bfs g ~root:0));
+        measure ~quick ~name:(sized "bs-distributed-k3") ~kind:"protocol" ~n
+          ~stats:
+            (Bs_distributed.run ~seed:7 ~k:3 gw).Bs_distributed.network_stats
+          (fun () -> ignore (Bs_distributed.run ~seed:7 ~k:3 gw));
+        measure ~quick ~name:(sized "spanning-forest") ~kind:"protocol" ~n
+          ~stats:(snd (Programs.spanning_forest g))
+          (fun () -> ignore (Programs.spanning_forest g));
+      ])
+    (protocol_sizes ~quick)
+
+(* ------------------------------------------------------------------ *)
+(* JSON output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_row b r =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    { \"name\": %S, \"kind\": %S, \"n\": %d, \"runs\": %d,\n\
+       \      \"ns_per_run\": %.1f, \"messages_per_run\": %d, \
+        \"rounds_per_run\": %d,\n\
+       \      \"messages_per_sec\": %.1f, \"rounds_per_sec\": %.1f }"
+       r.name r.kind r.n r.runs r.ns_per_run r.messages_per_run
+       r.rounds_per_run (messages_per_sec r) (rounds_per_sec r))
+
+let write_json ~quick ~file rows =
+  let fast = List.find (fun r -> r.name = "mp:fast") rows in
+  let ref_ = List.find (fun r -> r.name = "mp:ref") rows in
+  let speedup = messages_per_sec fast /. messages_per_sec ref_ in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"ultraspan-perf/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"workload\": { \"mp_n\": %d, \"mp_avg_degree\": %.1f, \
+        \"mp_flood_rounds\": %d },\n"
+       mp_n mp_avg_degree flood_rounds);
+  Buffer.add_string b "  \"suites\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_of_row b r)
+    rows;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"message_plane\": { \"n\": %d, \"fast_messages_per_sec\": %.1f, \
+        \"ref_messages_per_sec\": %.1f, \"speedup\": %.2f }\n"
+       mp_n (messages_per_sec fast) (messages_per_sec ref_) speedup);
+  Buffer.add_string b "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  speedup
+
+(* ------------------------------------------------------------------ *)
+(* JSON validation (minimal parser — no JSON library in the image)     *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= len then fail "bad escape";
+            Buffer.add_char b s.[!pos + 1];
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (incr pos; Obj [])
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; fields_loop ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected , or }"
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (incr pos; Arr [])
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; items_loop ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected , or ]"
+          in
+          items_loop ();
+          Arr (List.rev !items)
+        end
+    | Some 't' -> pos := !pos + 4; Bool true
+    | Some 'f' -> pos := !pos + 5; Bool false
+    | Some 'n' -> pos := !pos + 4; Null
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < len
+          && (match s.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        if !pos = start then fail "unexpected character";
+        Num (float_of_string (String.sub s start (!pos - start)))
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let field name = function
+  | Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Bad_json ("missing field " ^ name)))
+  | _ -> raise (Bad_json ("not an object looking for " ^ name))
+
+let num = function Num f -> f | _ -> raise (Bad_json "expected number")
+let str = function Str s -> s | _ -> raise (Bad_json "expected string")
+let arr = function Arr l -> l | _ -> raise (Bad_json "expected array")
+
+let validate file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let j = parse_json s in
+  let schema = str (field "schema" j) in
+  if schema <> "ultraspan-perf/1" then
+    raise (Bad_json ("unknown schema " ^ schema));
+  let suites = arr (field "suites" j) in
+  if suites = [] then raise (Bad_json "no suites");
+  List.iter
+    (fun suite ->
+      let name = str (field "name" suite) in
+      let runs = int_of_float (num (field "runs" suite)) in
+      if runs <= 0 then raise (Bad_json (name ^ ": 0 runs"));
+      let ns = num (field "ns_per_run" suite) in
+      if not (Float.is_finite ns && ns > 0.0) then
+        raise (Bad_json (name ^ ": bad ns_per_run")))
+    suites;
+  let mp = field "message_plane" j in
+  let speedup = num (field "speedup" mp) in
+  if not (Float.is_finite speedup && speedup > 0.0) then
+    raise (Bad_json "bad message_plane.speedup");
+  Printf.printf "%s: OK (%d suites, all ran; message-plane speedup %.2fx)\n"
+    file (List.length suites) speedup
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let rec opt flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> opt flag rest
+    | [] -> None
+  in
+  match opt "--validate" args with
+  | Some file -> (
+      try validate file
+      with Bad_json msg | Sys_error msg ->
+        Printf.eprintf "%s: INVALID (%s)\n" file msg;
+        exit 1)
+  | None ->
+      let file = Option.value (opt "-o" args) ~default:"BENCH_congest.json" in
+      Printf.printf "perf: message plane (n=%d, %d flood rounds, both engines)...\n%!"
+        mp_n flood_rounds;
+      let mp = message_plane_rows ~quick in
+      Printf.printf "perf: protocols at n in {%s}...\n%!"
+        (String.concat ", " (List.map string_of_int (protocol_sizes ~quick)));
+      let rows = mp @ protocol_rows ~quick in
+      let speedup = write_json ~quick ~file rows in
+      Printf.printf "%-26s %6s %8s %14s %14s %14s\n" "suite" "n" "runs"
+        "ns/run" "msgs/s" "rounds/s";
+      List.iter
+        (fun r ->
+          Printf.printf "%-26s %6d %8d %14.0f %14.0f %14.1f\n" r.name r.n
+            r.runs r.ns_per_run (messages_per_sec r) (rounds_per_sec r))
+        rows;
+      Printf.printf "message-plane speedup (fast vs ref): %.2fx\n" speedup;
+      Printf.printf "wrote %s\n" file

@@ -16,4 +16,9 @@ test -s "$tmp/trace.jsonl"
 test -s "$tmp/trace.trace.json"
 dune exec bench/main.exe -- --quick --table o1 >/dev/null
 
+# perf smoke test: the microbenchmark suite runs end-to-end, its JSON
+# parses, and every suite reports at least one run
+dune exec bench/perf.exe -- --quick -o "$tmp/BENCH_congest.json" >/dev/null
+dune exec bench/perf.exe -- --validate "$tmp/BENCH_congest.json"
+
 echo "check: OK"

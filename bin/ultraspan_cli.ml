@@ -58,6 +58,16 @@ let output_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write result to FILE.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fast", `Fast); ("ref", `Ref) ]) `Fast
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "CONGEST simulator message plane: fast (CSR slot-based, default) \
+           or ref (list-based reference oracle).  Both are observably \
+           identical; the flag exists for A/B perf runs.")
+
 let make_graph family n degree max_w seed =
   let rng = Rng.create seed in
   let g =
@@ -130,9 +140,11 @@ let stats_cmd =
 
 (* ---------- shared algorithm dispatch ---------- *)
 
-let build_spanner ~algo ~k ~t ~seed g =
+let build_spanner ?(engine = `Fast) ~algo ~k ~t ~seed g =
   match algo with
   | "bs" -> (Baswana_sen.run ~rng:(Rng.create seed) ~k g).Baswana_sen.spanner
+  | "bs-distributed" ->
+      (Bs_distributed.run ~engine ~seed ~k g).Bs_distributed.spanner
   | "bs-derand" -> (Bs_derand.run ~k g).Bs_derand.spanner
   | "linear" -> (Linear_size.run g).Linear_size.spanner
   | "linear-random" ->
@@ -160,10 +172,10 @@ let build_certificate ~algo ~k ~eps ~seed g =
 
 (* ---------- spanner ---------- *)
 
-let spanner algo k t breakdown input family n degree max_w seed output =
+let spanner algo k t engine breakdown input family n degree max_w seed output =
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
-  let sp = build_spanner ~algo ~k ~t ~seed g in
+  let sp = build_spanner ~engine ~algo ~k ~t ~seed g in
   Printf.printf "spanner edges   : %d (%.2f per vertex)\n" (Spanner.size sp)
     (float_of_int (Spanner.size sp) /. float_of_int (Graph.n g));
   Printf.printf "spanning        : %b\n" (Spanner.is_spanning g sp);
@@ -184,8 +196,8 @@ let spanner_algo_arg =
     value & opt string "ultra"
     & info [ "algo" ] ~docv:"ALGO"
         ~doc:
-          "bs | bs-derand | linear | linear-random | ultra | greedy | en | \
-           clustering | clustering-ultra.")
+          "bs | bs-distributed | bs-derand | linear | linear-random | ultra \
+           | greedy | en | clustering | clustering-ultra.")
 
 let breakdown_arg =
   Arg.(
@@ -201,8 +213,8 @@ let spanner_cmd =
     Term.(
       const spanner $ spanner_algo_arg
       $ k_arg "Stretch parameter k (stretch 2k-1)."
-      $ t_arg $ breakdown_arg $ input_arg $ family_arg $ n_arg $ degree_arg
-      $ weights_arg $ seed_arg $ output_arg)
+      $ t_arg $ engine_arg $ breakdown_arg $ input_arg $ family_arg $ n_arg
+      $ degree_arg $ weights_arg $ seed_arg $ output_arg)
 
 (* ---------- certificate ---------- *)
 
@@ -313,7 +325,8 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let trace prog k root drop crashes top input family n degree max_w seed output =
+let trace prog k root engine drop crashes top input family n degree max_w seed
+    output =
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
   let plan =
@@ -330,21 +343,23 @@ let trace prog k root drop crashes top input family n degree max_w seed output =
   let tr = Trace.create g in
   let stats =
     match prog with
-    | "bfs" -> snd (Programs.bfs ?faults ~trace:tr g ~root)
+    | "bfs" -> snd (Programs.bfs ?faults ~trace:tr ~engine g ~root)
     | "broadcast" ->
         snd
-          (Programs.broadcast_max ?faults ~trace:tr g
+          (Programs.broadcast_max ?faults ~trace:tr ~engine g
              ~values:(Array.init (Graph.n g) Fun.id))
     | p when faulty ->
         failwith
           (Printf.sprintf
              "program %s does not take a fault plan (only bfs | broadcast)" p)
-    | "matching" -> snd (Programs.maximal_matching ~trace:tr g)
-    | "mis" -> snd (Programs.luby_mis ~trace:tr ~seed g)
-    | "bellman-ford" -> snd (Programs.bellman_ford ~trace:tr g ~source:root)
-    | "forest" -> snd (Programs.spanning_forest ~trace:tr g)
+    | "matching" -> snd (Programs.maximal_matching ~trace:tr ~engine g)
+    | "mis" -> snd (Programs.luby_mis ~trace:tr ~engine ~seed g)
+    | "bellman-ford" ->
+        snd (Programs.bellman_ford ~trace:tr ~engine g ~source:root)
+    | "forest" -> snd (Programs.spanning_forest ~trace:tr ~engine g)
     | "bs" ->
-        (Bs_distributed.run ~trace:tr ~seed ~k g).Bs_distributed.network_stats
+        (Bs_distributed.run ~trace:tr ~engine ~seed ~k g)
+          .Bs_distributed.network_stats
     | p -> failwith ("unknown program: " ^ p)
   in
   Printf.printf "rounds          : %d\n" stats.Network.rounds;
@@ -400,8 +415,8 @@ let trace_cmd =
     Term.(
       const trace $ trace_program_arg
       $ k_arg "Stretch parameter k (program bs)."
-      $ root_arg $ drop_arg $ crashes_arg $ top_arg $ input_arg $ family_arg
-      $ n_arg $ degree_arg $ weights_arg $ seed_arg $ output_arg)
+      $ root_arg $ engine_arg $ drop_arg $ crashes_arg $ top_arg $ input_arg
+      $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg $ output_arg)
 
 (* ---------- main ---------- *)
 

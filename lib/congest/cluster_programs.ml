@@ -49,16 +49,18 @@ let convergecast g part ~annotation ~local ~merge ~identity =
           if round = 0 then begin
             (* hello: cluster + parent flag + annotation *)
             let out =
-              List.map
-                (fun (u, _) ->
-                  ( u,
-                    [|
-                      tag_hello;
-                      part.cluster_of.(me);
-                      (if part.parent.(me) = u then 1 else 0);
-                      annotation.(me);
-                    |] ))
-                (Graph.neighbors g me)
+              List.rev
+                (Graph.fold_adj g me
+                   (fun acc u _ ->
+                     ( u,
+                       [|
+                         tag_hello;
+                         part.cluster_of.(me);
+                         (if part.parent.(me) = u then 1 else 0);
+                         annotation.(me);
+                       |] )
+                     :: acc)
+                   [])
             in
             { Network.state = st; out; halt = false }
           end
@@ -202,15 +204,17 @@ let broadcast_from_roots g part ~values =
         (fun g ~round ~me st inbox ->
           if round = 0 then begin
             let out =
-              List.map
-                (fun (u, _) ->
-                  ( u,
-                    [|
-                      tag_hello;
-                      part.cluster_of.(me);
-                      (if part.parent.(me) = u then 1 else 0);
-                    |] ))
-                (Graph.neighbors g me)
+              List.rev
+                (Graph.fold_adj g me
+                   (fun acc u _ ->
+                     ( u,
+                       [|
+                         tag_hello;
+                         part.cluster_of.(me);
+                         (if part.parent.(me) = u then 1 else 0);
+                       |] )
+                     :: acc)
+                   [])
             in
             { Network.state = st; out; halt = false }
           end

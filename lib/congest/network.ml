@@ -9,6 +9,8 @@ type 'a program = {
   round : Graph.t -> round:int -> me:int -> 'a -> inbox -> 'a step;
 }
 
+type engine = [ `Fast | `Ref ]
+
 type stats = {
   rounds : int;
   messages : int;
@@ -24,9 +26,15 @@ exception Not_a_neighbor of { sender : int; target : int }
 exception Duplicate_message of { sender : int; target : int }
 exception Round_limit_exceeded of { limit : int; partial : stats }
 
-let run ?max_rounds ?(word_limit = 4) ?faults ?trace g prog =
+(* Both engines share the exact same observable behaviour: same states,
+   same stats, same fault-RNG consumption order (node order, then outbox
+   order) and same trace-hook call sequence.  The differential test-suite
+   (test/test_engine_diff.ml) checks this bit-for-bit. *)
+
+(* ---------- reference engine (the original list-based loop) ---------- *)
+
+let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
   let n = Graph.n g in
-  let max_rounds = match max_rounds with Some r -> r | None -> 100 * (n + 1) in
   (match faults with Some f -> Faults.start f ~n | None -> ());
   (match trace with Some tr -> Trace.start tr ~n | None -> ());
   let states = Array.init n (fun v -> prog.init g v) in
@@ -137,3 +145,198 @@ let run ?max_rounds ?(word_limit = 4) ?faults ?trace g prog =
     incr rounds
   done;
   (states, stats_now ())
+
+(* ---------- fast engine (CSR slot-based message plane) ----------
+
+   One inbox slot per directed arc of the graph's CSR index: the message
+   [s -> t] lands in the arc [t -> s] (found in O(log deg s) by binary
+   search on the sender side plus an O(1) reverse-arc hop).  Because a
+   sender's slot in its target's inbox is unique, duplicate detection is a
+   slot-stamp check (no per-step hash table); because each vertex's arcs
+   are sorted by destination, scanning the occupied slots of a receiver
+   yields the inbox already sorted by sender (no per-round [List.sort]);
+   and because the payload arena and stamps persist across rounds there is
+   no per-round O(n) allocation — stamps distinguish rounds by value, so
+   nothing is ever cleared.  Halted nodes and in-flight messages are
+   tracked by counters, replacing the reference engine's O(n) quiescence
+   scan. *)
+
+let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
+  let n = Graph.n g in
+  (match faults with Some f -> Faults.start f ~n | None -> ());
+  (match trace with Some tr -> Trace.start tr ~n | None -> ());
+  (* Raw CSR arrays: the loops below run once per message and cannot
+     afford a cross-module call per arc. *)
+  let { Graph.off; dst; rev; _ } = Graph.csr g in
+  let states = Array.init n (fun v -> prog.init g v) in
+  let halted = Array.make n false in
+  let halted_count = ref 0 in
+  let arcs = Graph.arc_count g in
+  (* Message plane: payload arena + stamps, one slot per arc.  A slot is
+     "occupied for round r" iff its stamp equals r; stale stamps from
+     earlier rounds never collide because rounds increase strictly. *)
+  let payload = Array.make arcs [||] in
+  let delivered_stamp = Array.make arcs (-1) in
+  let sent_stamp = Array.make arcs (-1) in
+  (* Receivers with at least one pending message, and their counts. *)
+  let in_count = Array.make n 0 in
+  let touched = ref [] in
+  let inboxes : inbox array = Array.make n [] in
+  let pending_msgs = ref 0 in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  let max_words = ref 0 in
+  let wakeups = ref 0 in
+  let stats_now () =
+    let drops, crashed_nodes, severed_links =
+      match faults with
+      | None -> (0, 0, 0)
+      | Some f -> (Faults.drops f, Faults.crashed_nodes f, Faults.severed_links f)
+    in
+    {
+      rounds = !rounds;
+      messages = !messages;
+      max_words = !max_words;
+      wakeups = !wakeups;
+      drops;
+      crashed_nodes;
+      severed_links;
+    }
+  in
+  while !pending_msgs > 0 || !halted_count < n do
+    if !rounds >= max_rounds then
+      raise (Round_limit_exceeded { limit = max_rounds; partial = stats_now () });
+    let r = !rounds in
+    (match faults with
+    | Some f -> Faults.begin_round f ~round:r
+    | None -> ());
+    (match (trace, faults) with
+    | Some tr, Some f ->
+        Trace.note_fault_counters tr ~crashed:(Faults.crashed_nodes f)
+          ~severed:(Faults.severed_links f)
+    | _ -> ());
+    (* Assemble inboxes for every receiver touched last round: scan its
+       arc slice backwards, consing the slots stamped r-1 — increasing
+       sender order for free, matching the reference engine's sort. *)
+    let receivers = !touched in
+    touched := [];
+    pending_msgs := 0;
+    (* Stale payload pointers are left in the arena (occupancy is governed
+       by the stamps alone); clearing them would cost a write barrier per
+       message for at most 2m words of retention. *)
+    List.iter
+      (fun v ->
+        let acc = ref [] in
+        for a = off.(v + 1) - 1 downto off.(v) do
+          if Array.unsafe_get delivered_stamp a = r - 1 then
+            acc :=
+              (Array.unsafe_get dst a, Array.unsafe_get payload a) :: !acc
+        done;
+        inboxes.(v) <- !acc;
+        in_count.(v) <- 0)
+      receivers;
+    for v = 0 to n - 1 do
+      let inbox = inboxes.(v) in
+      (match faults with
+      | Some f when Faults.is_crashed f v ->
+          (* Crash-stop: no step, and in-flight messages to v are lost. *)
+          List.iter
+            (fun (sender, _) ->
+              Faults.drop_in_flight f ~round:r ~sender ~target:v;
+              match trace with
+              | Some tr -> Trace.note_drop tr
+              | None -> ())
+            inbox;
+          if not halted.(v) then begin
+            halted.(v) <- true;
+            incr halted_count
+          end
+      | _ ->
+          if (not halted.(v)) || inbox <> [] then begin
+            incr wakeups;
+            (match trace with Some tr -> Trace.note_step tr | None -> ());
+            let step = prog.round g ~round:r ~me:v states.(v) inbox in
+            states.(v) <- step.state;
+            if halted.(v) <> step.halt then begin
+              halted.(v) <- step.halt;
+              if step.halt then incr halted_count else decr halted_count
+            end;
+            (* Validate and deliver into slots.  Same rule order as the
+               reference engine: neighbour, duplicate, size, faults.
+               Outboxes are usually in adjacency (ascending-target) order,
+               so an ascending cursor resolves each target in O(1)
+               amortized; out-of-order sends fall back to binary search. *)
+            let base = off.(v) and stop = off.(v + 1) in
+            let cursor = ref base in
+            List.iter
+              (fun (target, pl) ->
+                let arc =
+                  let c = ref !cursor in
+                  while !c < stop && Array.unsafe_get dst !c < target do
+                    incr c
+                  done;
+                  if !c < stop && Array.unsafe_get dst !c = target then begin
+                    cursor := !c + 1;
+                    !c
+                  end
+                  else begin
+                    let lo = ref base and hi = ref (stop - 1) in
+                    let res = ref (-1) in
+                    while !res < 0 && !lo <= !hi do
+                      let mid = (!lo + !hi) lsr 1 in
+                      let d = Array.unsafe_get dst mid in
+                      if d = target then res := mid
+                      else if d < target then lo := mid + 1
+                      else hi := mid - 1
+                    done;
+                    !res
+                  end
+                in
+                if arc < 0 then raise (Not_a_neighbor { sender = v; target });
+                let slot = Array.unsafe_get rev arc in
+                if Array.unsafe_get sent_stamp slot = r then
+                  raise (Duplicate_message { sender = v; target })
+                  (* one message per neighbour per round *);
+                Array.unsafe_set sent_stamp slot r;
+                let words = Array.length pl in
+                if words > word_limit then
+                  raise (Message_too_large { sender = v; words; limit = word_limit });
+                if words > !max_words then max_words := words;
+                let delivered =
+                  match faults with
+                  | None -> true
+                  | Some f -> Faults.deliver f ~round:r ~sender:v ~target
+                in
+                if delivered then begin
+                  incr messages;
+                  (match trace with
+                  | Some tr -> Trace.note_send tr ~sender:v ~target ~words
+                  | None -> ());
+                  Array.unsafe_set payload slot pl;
+                  Array.unsafe_set delivered_stamp slot r;
+                  let c = Array.unsafe_get in_count target in
+                  if c = 0 then touched := target :: !touched;
+                  Array.unsafe_set in_count target (c + 1);
+                  incr pending_msgs
+                end
+                else
+                  match trace with
+                  | Some tr -> Trace.note_drop tr
+                  | None -> ())
+              step.out
+          end);
+      (match inbox with [] -> () | _ -> inboxes.(v) <- [])
+    done;
+    (match trace with
+    | Some tr -> Trace.end_round tr ~round:r ~halted:!halted_count
+    | None -> ());
+    incr rounds
+  done;
+  (states, stats_now ())
+
+let run ?max_rounds ?(word_limit = 4) ?faults ?trace ?(engine = `Fast) g prog =
+  let n = Graph.n g in
+  let max_rounds = match max_rounds with Some r -> r | None -> 100 * (n + 1) in
+  match engine with
+  | `Fast -> run_fast ~max_rounds ~word_limit ?faults ?trace g prog
+  | `Ref -> run_ref ~max_rounds ~word_limit ?faults ?trace g prog

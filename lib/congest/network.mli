@@ -40,6 +40,16 @@ type 'a program = {
   round : Graph.t -> round:int -> me:int -> 'a -> inbox -> 'a step;
 }
 
+type engine = [ `Fast | `Ref ]
+(** Message-plane implementation.  [`Fast] (the default) delivers messages
+    into preallocated per-arc slots of the graph's CSR index: duplicate
+    detection is a slot-stamp check, inboxes come out sorted by sender for
+    free (adjacency slices are sorted), and no per-round lists or hash
+    tables are allocated.  [`Ref] is the original list-based loop, kept as
+    a reference oracle; both engines are observably identical — states,
+    stats, fault events and traces match bit-for-bit (enforced by the
+    differential test suite). *)
+
 type stats = {
   rounds : int;  (** rounds executed *)
   messages : int;  (** total messages delivered (dropped ones excluded) *)
@@ -69,12 +79,15 @@ val run :
   ?word_limit:int ->
   ?faults:Faults.t ->
   ?trace:Trace.t ->
+  ?engine:engine ->
   Graph.t ->
   'a program ->
   'a array * stats
 (** Execute to quiescence.  [word_limit] is the per-message size cap in
     words of O(log n) bits (default 4: a constant number of ids/weights,
     the usual CONGEST convention).  [max_rounds] defaults to [100 * (n+1)].
+    [engine] selects the message-plane implementation (default [`Fast];
+    see {!type-engine}).
 
     [faults] subjects the run to a fault schedule (see {!Faults} for the
     exact semantics); the injector must be fresh, and afterwards

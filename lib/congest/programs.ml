@@ -1,12 +1,21 @@
 open! Import
 
+(* Outbox addressed to every neighbour, in increasing neighbour order
+   (adjacency slices are sorted, so a reversed fold preserves the order
+   [Graph.neighbors] gave).  The payload array is shared across the
+   outbox — the simulator never mutates payloads. *)
+let out_to_all g me payload =
+  List.rev (Graph.fold_adj g me (fun acc u _ -> (u, payload) :: acc) [])
+
+let sorted_nbrs g v = List.rev (Graph.fold_adj g v (fun acc u _ -> u :: acc) [])
+
 type bfs_result = { dist : int array; parent : int array }
 
 (* ---------- BFS ---------- *)
 
 type bfs_state = { bdist : int; bparent : int }
 
-let bfs ?faults ?trace g ~root =
+let bfs ?faults ?trace ?engine g ~root =
   if root < 0 || root >= Graph.n g then invalid_arg "Programs.bfs: bad root";
   let program =
     {
@@ -14,9 +23,7 @@ let bfs ?faults ?trace g ~root =
       round =
         (fun g ~round ~me st inbox ->
           if round = 0 && me = root then begin
-            let out =
-              List.map (fun (u, _) -> (u, [| 0 |])) (Graph.neighbors g me)
-            in
+            let out = out_to_all g me [| 0 |] in
             { Network.state = { bdist = 0; bparent = -1 }; out; halt = true }
           end
           else begin
@@ -35,18 +42,20 @@ let bfs ?faults ?trace g ~root =
                       (max_int, max_int) msgs
                   in
                   let st = { bdist = best_d + 1; bparent = best_sender } in
+                  let payload = [| st.bdist |] in
                   let out =
-                    List.filter_map
-                      (fun (u, _) ->
-                        if u = best_sender then None else Some (u, [| st.bdist |]))
-                      (Graph.neighbors g me)
+                    List.rev
+                      (Graph.fold_adj g me
+                         (fun acc u _ ->
+                           if u = best_sender then acc else (u, payload) :: acc)
+                         [])
                   in
                   { Network.state = st; out; halt = true }
                 end
           end);
     }
   in
-  let states, stats = Network.run ?faults ?trace g program in
+  let states, stats = Network.run ?faults ?trace ?engine g program in
   ( {
       dist = Array.map (fun s -> s.bdist) states;
       parent = Array.map (fun s -> s.bparent) states;
@@ -57,7 +66,7 @@ let bfs ?faults ?trace g ~root =
 
 type bc_state = { known : int }
 
-let broadcast_max ?faults ?trace g ~values =
+let broadcast_max ?faults ?trace ?engine g ~values =
   if Array.length values <> Graph.n g then
     invalid_arg "Programs.broadcast_max: length mismatch";
   let program =
@@ -70,15 +79,13 @@ let broadcast_max ?faults ?trace g ~values =
           in
           let updated = max st.known incoming in
           if round = 0 || updated > st.known then begin
-            let out =
-              List.map (fun (u, _) -> (u, [| updated |])) (Graph.neighbors g me)
-            in
+            let out = out_to_all g me [| updated |] in
             { Network.state = { known = updated }; out; halt = true }
           end
           else { Network.state = st; out = []; halt = true });
     }
   in
-  let states, stats = Network.run ?faults ?trace g program in
+  let states, stats = Network.run ?faults ?trace ?engine g program in
   (Array.map (fun s -> s.known) states, stats)
 
 (* ---------- maximal matching ---------- *)
@@ -93,14 +100,14 @@ type mm_state = {
   announced : bool;
 }
 
-let maximal_matching ?trace g =
+let maximal_matching ?trace ?engine g =
   let program =
     {
       Network.init =
         (fun g v ->
           {
             mate = -1;
-            alive = List.sort compare (List.map fst (Graph.neighbors g v));
+            alive = sorted_nbrs g v (* adjacency order, already increasing *);
             proposed_to = -1;
             announced = false;
           });
@@ -160,7 +167,7 @@ let maximal_matching ?trace g =
           end);
     }
   in
-  let states, stats = Network.run ?trace g program in
+  let states, stats = Network.run ?trace ?engine g program in
   (Array.map (fun s -> s.mate) states, stats)
 
 (* ---------- Luby's MIS ---------- *)
@@ -177,7 +184,7 @@ type mis_state = {
   prios : (int * int) list; (* neighbour -> priority, this phase *)
 }
 
-let luby_mis ?trace ~seed g =
+let luby_mis ?trace ?engine ~seed g =
   (* Per-(vertex, phase) pseudo-random priorities via SplitMix: the whole
      run is reproducible from [seed]. *)
   let priority v phase =
@@ -190,7 +197,7 @@ let luby_mis ?trace ~seed g =
         (fun g v ->
           {
             status = Mis_active;
-            active_nbrs = List.map fst (Graph.neighbors g v);
+            active_nbrs = sorted_nbrs g v;
             prios = [];
           });
       round =
@@ -269,14 +276,14 @@ let luby_mis ?trace ~seed g =
               end);
     }
   in
-  let states, stats = Network.run ~word_limit:4 ?trace g program in
+  let states, stats = Network.run ~word_limit:4 ?trace ?engine g program in
   (Array.map (fun s -> s.status = Mis_in) states, stats)
 
 (* ---------- distributed Bellman–Ford ---------- *)
 
 type bf_state = { bf_dist : int; bf_parent : int }
 
-let bellman_ford ?trace g ~source =
+let bellman_ford ?trace ?engine g ~source =
   if source < 0 || source >= Graph.n g then
     invalid_arg "Programs.bellman_ford: bad source";
   let program =
@@ -302,15 +309,13 @@ let bellman_ford ?trace g ~source =
             inbox;
           let st = !st in
           if !improved then begin
-            let out =
-              List.map (fun (u, _) -> (u, [| st.bf_dist |])) (Graph.neighbors g me)
-            in
+            let out = out_to_all g me [| st.bf_dist |] in
             { Network.state = st; out; halt = true }
           end
           else { Network.state = st; out = []; halt = true });
     }
   in
-  let states, stats = Network.run ?trace g program in
+  let states, stats = Network.run ?trace ?engine g program in
   ( ( Array.map (fun s -> s.bf_dist) states,
       Array.map (fun s -> s.bf_parent) states ),
     stats )
@@ -319,7 +324,7 @@ let bellman_ford ?trace g ~source =
 
 type forest_state = { fr_root : int; fr_parent_eid : int }
 
-let spanning_forest ?trace g =
+let spanning_forest ?trace ?engine g =
   let program =
     {
       Network.init = (fun _ v -> { fr_root = v; fr_parent_eid = -1 });
@@ -339,15 +344,13 @@ let spanning_forest ?trace g =
             inbox;
           let st = !st in
           if !improved then begin
-            let out =
-              List.map (fun (u, _) -> (u, [| st.fr_root |])) (Graph.neighbors g me)
-            in
+            let out = out_to_all g me [| st.fr_root |] in
             { Network.state = st; out; halt = true }
           end
           else { Network.state = st; out = []; halt = true });
     }
   in
-  let states, stats = Network.run ?trace g program in
+  let states, stats = Network.run ?trace ?engine g program in
   let eids =
     Array.to_list states
     |> List.filter_map (fun s ->

@@ -9,15 +9,16 @@ open! Import
 
     Every program accepts an optional {!Trace} sink, forwarded verbatim to
     [Network.run ?trace], recording its per-round convergence behaviour
-    without changing it. *)
+    without changing it, and an optional [?engine] selecting the simulator
+    message plane (see {!Network.engine}), likewise forwarded verbatim. *)
 
 (** {1 BFS tree} *)
 
 type bfs_result = { dist : int array; parent : int array }
 
 val bfs :
-  ?faults:Faults.t -> ?trace:Trace.t -> Graph.t -> root:int ->
-  bfs_result * Network.stats
+  ?faults:Faults.t -> ?trace:Trace.t -> ?engine:Network.engine ->
+  Graph.t -> root:int -> bfs_result * Network.stats
 (** Distributed BFS flooding from the root.  Rounds ~ eccentricity + O(1);
     [dist]/[parent] agree with {!Bfs.tree}.  Under a fault schedule the
     protocol still terminates: unreached vertices keep [dist = -1], which
@@ -26,8 +27,8 @@ val bfs :
 (** {1 Broadcast / convergecast} *)
 
 val broadcast_max :
-  ?faults:Faults.t -> ?trace:Trace.t -> Graph.t -> values:int array ->
-  int array * Network.stats
+  ?faults:Faults.t -> ?trace:Trace.t -> ?engine:Network.engine ->
+  Graph.t -> values:int array -> int array * Network.stats
 (** Every node learns the maximum of all initial values, by flooding;
     rounds ~ diameter + O(1).  (A stand-in for generic broadcast: any
     idempotent associative aggregate works the same way.)  Under faults,
@@ -36,7 +37,9 @@ val broadcast_max :
 
 (** {1 Maximal matching} *)
 
-val maximal_matching : ?trace:Trace.t -> Graph.t -> int array * Network.stats
+val maximal_matching :
+  ?trace:Trace.t -> ?engine:Network.engine -> Graph.t ->
+  int array * Network.stats
 (** Deterministic distributed maximal matching by locally-minimal edge
     proposals (each round, every unmatched node points at its smallest
     unmatched neighbour; mutually-pointing pairs marry).  Returns
@@ -46,7 +49,7 @@ val maximal_matching : ?trace:Trace.t -> Graph.t -> int array * Network.stats
 (** {1 Weighted single-source shortest paths} *)
 
 val bellman_ford :
-  ?trace:Trace.t -> Graph.t -> source:int ->
+  ?trace:Trace.t -> ?engine:Network.engine -> Graph.t -> source:int ->
   (int array * int array) * Network.stats
 (** Distributed Bellman–Ford: distance announcements flood and relax until
     quiescence.  Returns [(dist, parent)] ([max_int]/[-1] when
@@ -55,7 +58,9 @@ val bellman_ford :
 
 (** {1 Spanning forest} *)
 
-val spanning_forest : ?trace:Trace.t -> Graph.t -> int list * Network.stats
+val spanning_forest :
+  ?trace:Trace.t -> ?engine:Network.engine -> Graph.t ->
+  int list * Network.stats
 (** Min-id flooding: every vertex adopts the smallest vertex id reachable
     from it, and its parent is the neighbour it last adopted from — the
     parent edges form a spanning forest (one tree per component, rooted at
@@ -65,7 +70,9 @@ val spanning_forest : ?trace:Trace.t -> Graph.t -> int list * Network.stats
 
 (** {1 Maximal independent set} *)
 
-val luby_mis : ?trace:Trace.t -> seed:int -> Graph.t -> bool array * Network.stats
+val luby_mis :
+  ?trace:Trace.t -> ?engine:Network.engine -> seed:int -> Graph.t ->
+  bool array * Network.stats
 (** Luby's randomized MIS as a message-passing program: three rounds per
     phase (priorities, winner announcements, removal notices); local maxima
     join the set.  Per-node randomness comes from a hash of

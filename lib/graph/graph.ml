@@ -4,8 +4,9 @@ type t = {
   n : int;
   edges : edge array;
   adj_off : int array; (* length n+1 *)
-  adj_dst : int array; (* length 2m *)
+  adj_dst : int array; (* length 2m; each vertex slice strictly increasing *)
   adj_eid : int array; (* length 2m *)
+  adj_rev : int array; (* length 2m; CSR index of the reverse arc *)
 }
 
 let n g = g.n
@@ -49,6 +50,44 @@ let fold_adj g v f init =
 
 let neighbors g v = List.rev (fold_adj g v (fun acc u eid -> (u, eid) :: acc) [])
 
+(* ---------- arc-level access ----------
+
+   The canonical edge array is sorted by (u, v) with u < v, and [build]
+   scatters it in one pass, so every vertex's [adj_dst] slice lists first
+   its smaller neighbours in increasing order, then its larger neighbours
+   in increasing order — i.e. each slice is strictly increasing.  That
+   invariant is what makes [arc_index] a binary search and [neighbors]
+   sorted by construction; [build] asserts it. *)
+
+let arc_count g = Array.length g.adj_dst
+
+let arc_base g v = g.adj_off.(v)
+
+let arc_dst g a = g.adj_dst.(a)
+
+let arc_eid g a = g.adj_eid.(a)
+
+let arc_rev g a = g.adj_rev.(a)
+
+type csr = {
+  off : int array;
+  dst : int array;
+  eid : int array;
+  rev : int array;
+}
+
+let csr g = { off = g.adj_off; dst = g.adj_dst; eid = g.adj_eid; rev = g.adj_rev }
+
+let arc_index g v u =
+  let lo = ref g.adj_off.(v) and hi = ref (g.adj_off.(v + 1) - 1) in
+  let res = ref (-1) in
+  while !res < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let d = g.adj_dst.(mid) in
+    if d = u then res := mid else if d < u then lo := mid + 1 else hi := mid - 1
+  done;
+  !res
+
 let iter_edges g f = Array.iter f g.edges
 
 let total_weight g = Array.fold_left (fun acc e -> acc + e.w) 0 g.edges
@@ -74,16 +113,26 @@ let build n canonical_edges =
   let cursor = Array.copy adj_off in
   let adj_dst = Array.make (2 * m) 0 in
   let adj_eid = Array.make (2 * m) 0 in
+  let adj_rev = Array.make (2 * m) 0 in
   Array.iter
     (fun e ->
-      adj_dst.(cursor.(e.u)) <- e.v;
-      adj_eid.(cursor.(e.u)) <- e.id;
-      cursor.(e.u) <- cursor.(e.u) + 1;
-      adj_dst.(cursor.(e.v)) <- e.u;
-      adj_eid.(cursor.(e.v)) <- e.id;
-      cursor.(e.v) <- cursor.(e.v) + 1)
+      let pu = cursor.(e.u) and pv = cursor.(e.v) in
+      adj_dst.(pu) <- e.v;
+      adj_eid.(pu) <- e.id;
+      adj_dst.(pv) <- e.u;
+      adj_eid.(pv) <- e.id;
+      adj_rev.(pu) <- pv;
+      adj_rev.(pv) <- pu;
+      cursor.(e.u) <- pu + 1;
+      cursor.(e.v) <- pv + 1)
     edges;
-  { n; edges; adj_off; adj_dst; adj_eid }
+  (* Sorted-slice invariant backing the arc_index binary search. *)
+  for v = 0 to n - 1 do
+    for i = adj_off.(v) + 1 to adj_off.(v + 1) - 1 do
+      assert (adj_dst.(i - 1) < adj_dst.(i))
+    done
+  done;
+  { n; edges; adj_off; adj_dst; adj_eid; adj_rev }
 
 let canonicalize ~n triples =
   let check (u, v, w) =
@@ -119,12 +168,11 @@ let find_edge g a b =
   if a = b then None
   else begin
     let a, b = if degree g a <= degree g b then (a, b) else (b, a) in
-    let found = ref None in
-    iter_adj g a (fun u eid -> if u = b && !found = None then found := Some eid);
-    !found
+    let i = arc_index g a b in
+    if i < 0 then None else Some g.adj_eid.(i)
   end
 
-let mem_edge g a b = find_edge g a b <> None
+let mem_edge g a b = a <> b && arc_index g a b >= 0
 
 let with_weights g f =
   let edges' = Array.map (fun e -> { e with w = f e.id }) g.edges in

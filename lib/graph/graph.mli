@@ -59,12 +59,58 @@ val degree : t -> int -> int
 val max_degree : t -> int
 
 val iter_adj : t -> int -> (int -> int -> unit) -> unit
-(** [iter_adj g v f] calls [f neighbor edge_id] for every incident edge. *)
+(** [iter_adj g v f] calls [f neighbor edge_id] for every incident edge,
+    in increasing neighbour order (see {!section-arcs}). *)
 
 val fold_adj : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
 
 val neighbors : t -> int -> (int * int) list
-(** [(neighbor, edge_id)] pairs. *)
+(** [(neighbor, edge_id)] pairs, sorted by neighbour. *)
+
+(** {1:arcs Arc-level access}
+
+    Each undirected edge appears as two {e arcs} in the CSR index; arcs
+    are addressed by their CSR position.  The arcs of vertex [v] occupy
+    [arc_base v .. arc_base (v+1) - 1], and within that range
+    destinations are {e strictly increasing} (a construction invariant of
+    {!of_edges}).  These accessors exist for performance-critical code —
+    the CONGEST simulator's slot-based message plane maps the message
+    [s -> t] to the arc [t -> s], a dense per-inbox slot — and for
+    O(log deg) adjacency queries. *)
+
+val arc_count : t -> int
+(** [2 m]: total number of arcs. *)
+
+val arc_base : t -> int -> int
+(** First arc position of a vertex; index [n] gives [arc_count]. *)
+
+val arc_dst : t -> int -> int
+(** Destination vertex of an arc. *)
+
+val arc_eid : t -> int -> int
+(** Edge id of an arc. *)
+
+val arc_rev : t -> int -> int
+(** Position of the reverse arc, O(1): if arc [a] is [u -> v] then
+    [arc_rev a] is the arc [v -> u]. *)
+
+val arc_index : t -> int -> int -> int
+(** [arc_index g v u] is the position of the arc [v -> u], or [-1] when
+    [u] is not adjacent to [v].  O(log deg v) binary search; allocation
+    free (the hot-path variant of {!find_edge}). *)
+
+type csr = {
+  off : int array;  (** arc range of vertex [v] is [off.(v) .. off.(v+1)-1] *)
+  dst : int array;  (** arc destination *)
+  eid : int array;  (** arc edge id *)
+  rev : int array;  (** position of the reverse arc *)
+}
+
+val csr : t -> csr
+(** Zero-copy view of the live CSR arrays, for tight inner loops that
+    cannot afford a call per arc (the compiler is not flambda; each
+    accessor above is a real function call).  The arrays are the graph's
+    own — treat them as read-only. *)
 
 val iter_edges : t -> (edge -> unit) -> unit
 
@@ -74,7 +120,8 @@ val is_unit_weighted : t -> bool
 (** All weights equal to 1. *)
 
 val find_edge : t -> int -> int -> int option
-(** Edge id joining the two vertices, if present.  O(min degree). *)
+(** Edge id joining the two vertices, if present.  O(log min-degree)
+    binary search over the sorted adjacency slice. *)
 
 val mem_edge : t -> int -> int -> bool
 

@@ -19,7 +19,7 @@ type state = {
   spanner_nbrs : int list; (* neighbours across spanner edges (local output) *)
 }
 
-let run ?trace ~seed ~k g =
+let run ?trace ?engine ~seed ~k g =
   if k < 1 then invalid_arg "Bs_distributed.run: k >= 1";
   let n = Graph.n g in
   let p =
@@ -54,12 +54,13 @@ let run ?trace ~seed ~k g =
             in
             let dead_edges = newly_dead @ st.dead_edges in
             let st = { st with dead_edges } in
+            let payload = [| tag_cluster; st.cluster |] in
             let out =
-              List.filter_map
-                (fun (u, _) ->
-                  if List.mem u dead_edges then None
-                  else Some (u, [| tag_cluster; st.cluster |]))
-                (Graph.neighbors g me)
+              List.rev
+                (Graph.fold_adj g me
+                   (fun acc u _ ->
+                     if List.mem u dead_edges then acc else (u, payload) :: acc)
+                   [])
             in
             { Network.state = st; out; halt = false }
           end
@@ -152,7 +153,7 @@ let run ?trace ~seed ~k g =
           end);
     }
   in
-  let states, network_stats = Network.run ~word_limit:4 ?trace g program in
+  let states, network_stats = Network.run ~word_limit:4 ?trace ?engine g program in
   (* Collect the distributed output. *)
   let keep = Array.make (Graph.m g) false in
   Array.iteri

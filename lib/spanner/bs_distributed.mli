@@ -30,7 +30,13 @@ type outcome = {
 }
 
 val run :
-  ?trace:Ultraspan_congest.Trace.t -> seed:int -> k:int -> Graph.t -> outcome
+  ?trace:Ultraspan_congest.Trace.t ->
+  ?engine:Ultraspan_congest.Network.engine ->
+  seed:int ->
+  k:int ->
+  Graph.t ->
+  outcome
 (** [run ~seed ~k g]: (2k-1)-spanner.  [seed] keys the shared hash family.
     Requires [k >= 1].  [trace] attaches a {!Ultraspan_congest.Trace} sink
-    to the protocol run (pure observation). *)
+    to the protocol run (pure observation); [engine] selects the simulator
+    message plane (see {!Ultraspan_congest.Network.engine}). *)

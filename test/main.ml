@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("graph", Test_graph.suite);
       ("congest", Test_congest.suite);
+      ("engine-diff", Test_engine_diff.suite);
       ("trace", Test_trace.suite);
       ("decomp", Test_decomp.suite);
       ("spanner", Test_spanner.suite);
