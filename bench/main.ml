@@ -1,22 +1,28 @@
 (* Bench harness: regenerates the paper's tables and figure as empirical
    analogues (see DESIGN.md §2 for the experiment index and EXPERIMENTS.md
-   for recorded output).
+   for recorded output and the artifact schema).
 
-   Default: run every experiment at moderate scale.
-   [--quick]      smaller instances (CI-friendly)
-   [--table ID]   run one experiment (t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1)
-   [--bechamel]   run the Bechamel wall-clock suite (one Test per table) *)
+   Every experiment builds an [Exp_table.t]: typed rows with declared
+   bound predicates (the paper's guarantees as executable checks), which
+   are rendered as text AND written as deterministic JSON artifacts.
+
+   Default: run every experiment at moderate scale and write artifacts.
+   [--quick]            smaller instances (CI-friendly)
+   [--all]              run every experiment (the default selection)
+   [--table ID]         run one experiment; repeatable
+                        (t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1)
+   [--strict]           exit 1 if any declared bound is violated
+   [--artifacts DIR]    where to write JSON artifacts (default: artifacts)
+   [--against DIR]      diff this run against golden artifacts in DIR
+                        instead of writing; exit 1 on any difference
+   [--tolerance PCT]    wall-clock tolerance for --against (default 75)
+   [--refresh-goldens]  with --against DIR: rewrite DIR instead of diffing
+   [--bechamel]         run the Bechamel wall-clock suite *)
 
 open Ultraspan
+module T = Exp_table
 
 let fmt = Printf.printf
-
-let hr () = fmt "%s\n" (String.make 100 '-')
-
-let header title =
-  fmt "\n%s\n" (String.make 100 '=');
-  fmt "%s\n" title;
-  fmt "%s\n" (String.make 100 '=')
 
 (* Exact stretch while affordable, sampled above: the check runs one
    restricted Dijkstra per vertex over the KEPT subgraph, so the cost is
@@ -28,125 +34,241 @@ let stretch_of ?(exact_limit = 120_000_000) g keep =
   else
     Stretch.sampled_edge_stretch ~rng:(Rng.create 12345) ~samples:512 g keep
 
-let pretty_float x =
-  if x = Float.infinity then "inf"
-  else if x >= 1000.0 then Printf.sprintf "%.0f" x
-  else Printf.sprintf "%.2f" x
+let fi = float_of_int
 
 (* ------------------------------------------------------------------ *)
 (* T1 — Table 1: very sparse spanners                                   *)
 (* ------------------------------------------------------------------ *)
 
 let table1 ~quick () =
-  header
-    "T1 (Table 1): sparse/ultra-sparse spanner constructions — size O(n), \
-     stretch ~ log n";
   let sizes = if quick then [ 512; 1024 ] else [ 512; 2048; 8192 ] in
-  fmt "%-34s %6s %9s %8s %9s %10s  %s\n" "algorithm" "n" "edges" "edges/n"
-    "stretch" "rounds" "det/wgt";
-  hr ();
-  List.iter
-    (fun n ->
-      let rng = Rng.create 42 in
-      let gu = Generators.connected_gnp ~rng ~n ~avg_degree:8.0 in
-      let gw =
-        Generators.randomize_weights ~rng:(Rng.create 7) ~lo:1 ~hi:(n * n) gu
-      in
-      let k = int_of_float (ceil (Float.log2 (float_of_int n))) in
-      let row name g sp det wgt =
-        fmt "%-34s %6d %9d %8.2f %9s %10d  %s/%s\n" name n (Spanner.size sp)
-          (float_of_int (Spanner.size sp) /. float_of_int n)
-          (pretty_float (stretch_of g sp.Spanner.keep))
-          (Spanner.total_rounds sp)
-          (if det then "yes" else "no")
-          (if wgt then "yes" else "no")
-      in
-      let pettie =
-        Linear_size.run ~variant:(Linear_size.Randomized (Rng.create 1)) gu
-      in
-      row "[Pet10] randomized linear-size" gu pettie.Linear_size.spanner false
-        false;
-      let en = Elkin_neiman.run ~rng:(Rng.create 2) ~k gu in
-      row "[EN18] exp-shift spanner" gu en.Elkin_neiman.spanner false false;
-      let det_u = Linear_size.run gu in
-      row "this paper: det linear (Thm 1.5)" gu det_u.Linear_size.spanner true
-        false;
-      let det_w = Linear_size.run gw in
-      row "this paper: det linear, weighted" gw det_w.Linear_size.spanner true
-        true;
-      hr ())
-    sizes;
-  fmt
-    "shape check: edges/n flat in n for every row; the deterministic rows \
-     match the randomized sizes\nwithout randomness, and weighted costs only \
-     a constant factor (the paper's 2^(log* n) vs 4^(log* n)).\n"
+  let cols =
+    [
+      T.col ~align:`L ~w:34 "algorithm";
+      T.col ~w:6 "n";
+      T.col ~w:9 "edges";
+      T.col ~w:8 "edges/n";
+      T.col ~w:9 ~render:T.pretty "stretch";
+      T.col ~w:10 "rounds";
+      T.col ~align:`L ~w:7 "det/wgt";
+    ]
+  in
+  let sections =
+    List.map
+      (fun n ->
+        let rng = Rng.create 42 in
+        let gu = Generators.connected_gnp ~rng ~n ~avg_degree:8.0 in
+        let gw =
+          Generators.randomize_weights ~rng:(Rng.create 7) ~lo:1 ~hi:(n * n) gu
+        in
+        let k = int_of_float (ceil (Float.log2 (fi n))) in
+        let row name g sp det wgt =
+          let size = Spanner.size sp in
+          let s = stretch_of g sp.Spanner.keep in
+          T.row
+            ~bounds:
+              [
+                T.le ~id:"size<=6n" ~descr:"spanner size stays O(n)"
+                  (fi size) (6.0 *. fi n);
+                T.le ~id:"stretch<=3lg" ~descr:"stretch stays O(log n)" s
+                  (3.0 *. Float.log2 (fi n));
+              ]
+            [
+              ("algorithm", T.Str name);
+              ("n", T.Int n);
+              ("edges", T.Int size);
+              ("edges/n", T.Float (fi size /. fi n));
+              ("stretch", T.Float s);
+              ("rounds", T.Int (Spanner.total_rounds sp));
+              ( "det/wgt",
+                T.Str
+                  (Printf.sprintf "%s/%s"
+                     (if det then "yes" else "no")
+                     (if wgt then "yes" else "no")) );
+            ]
+        in
+        let pettie =
+          Linear_size.run ~variant:(Linear_size.Randomized (Rng.create 1)) gu
+        in
+        let en = Elkin_neiman.run ~rng:(Rng.create 2) ~k gu in
+        let det_u = Linear_size.run gu in
+        let det_w = Linear_size.run gw in
+        T.section ~cols
+          (Printf.sprintf "n%d" n)
+          [
+            row "[Pet10] randomized linear-size" gu pettie.Linear_size.spanner
+              false false;
+            row "[EN18] exp-shift spanner" gu en.Elkin_neiman.spanner false
+              false;
+            row "this paper: det linear (Thm 1.5)" gu det_u.Linear_size.spanner
+              true false;
+            row "this paper: det linear, weighted" gw det_w.Linear_size.spanner
+              true true;
+          ])
+      sizes
+  in
+  T.make ~id:"t1"
+    ~title:
+      "T1 (Table 1): sparse/ultra-sparse spanner constructions — size O(n), \
+       stretch ~ log n"
+    ~params:[ ("quick", T.Bool quick) ]
+    ~notes:
+      [
+        "shape check: edges/n flat in n for every row; the deterministic rows \
+         match the randomized sizes";
+        "without randomness, and weighted costs only a constant factor (the \
+         paper's 2^(log* n) vs 4^(log* n)).";
+      ]
+    sections
 
 (* ------------------------------------------------------------------ *)
 (* T2 — Table 2: (2k-1)-spanners                                        *)
 (* ------------------------------------------------------------------ *)
 
 let table2 ~quick () =
-  header "T2 (Table 2): (2k-1)-spanners — size vs n^(1+1/k)";
   let n = if quick then 1024 else 2048 in
   let ks = [ 2; 3; 4; 5 ] in
-  fmt
-    "n = %d; every row checks measured max stretch <= 2k-1 (exact where \
-     affordable, sampled above).\n"
-    n;
-  fmt "%-30s %3s %9s %12s %9s %10s\n" "algorithm" "k" "edges"
-    "edges/n^(1+1/k)" "stretch" "rounds";
-  hr ();
-  List.iter
-    (fun k ->
-      let norm =
-        float_of_int n ** (1.0 +. (1.0 /. float_of_int k))
-      in
-      (* m must clear n^(1+1/k) by a healthy factor for compression to be
-         visible at all. *)
-      let avg_degree = Float.min (float_of_int (n - 1) /. 3.0) (6.0 *. norm /. float_of_int n) in
-      let rng = Rng.create (100 + k) in
-      let gu = Generators.connected_gnp ~rng ~n ~avg_degree in
-      let gw =
-        Generators.randomize_weights ~rng:(Rng.create 8) ~lo:1 ~hi:(n * n) gu
-      in
-      let row name g sp =
-        let s = stretch_of g sp.Spanner.keep in
-        fmt "%-30s %3d %9d %12.2f %9s %10d%s\n" name k (Spanner.size sp)
-          (float_of_int (Spanner.size sp) /. norm)
-          (pretty_float s) (Spanner.total_rounds sp)
-          (if s <= float_of_int ((2 * k) - 1) +. 1e-9 then "" else "  STRETCH VIOLATION")
-      in
-      let bs_u = Baswana_sen.run ~rng:(Rng.create 3) ~k gu in
-      row "[BS07] randomized, unweighted" gu bs_u.Baswana_sen.spanner;
-      let bs_w = Baswana_sen.run ~rng:(Rng.create 3) ~k gw in
-      row "[BS07] randomized, weighted" gw bs_w.Baswana_sen.spanner;
-      let de_u = Bs_derand.run ~k gu in
-      row "this paper Thm 1.4, unweighted" gu de_u.Bs_derand.spanner;
-      let de_w = Bs_derand.run ~k gw in
-      row "this paper Thm 1.4, weighted" gw de_w.Bs_derand.spanner;
-      let bd = Bs_distributed.run ~seed:11 ~k gw in
-      fmt "%-30s %3d %9d %12.2f %9s %10d  <- real protocol rounds\n"
-        "[BS07] as CONGEST program" k
-        (Spanner.size bd.Bs_distributed.spanner)
-        (float_of_int (Spanner.size bd.Bs_distributed.spanner) /. norm)
-        (pretty_float (stretch_of gw bd.Bs_distributed.spanner.Spanner.keep))
-        bd.Bs_distributed.network_stats.Network.rounds;
-      fmt "%-30s %3d %9s %12s\n" "(bounds) BS07/ours vs GK18" k
-        (Printf.sprintf "%.0f" (Bs_derand.size_bound ~n ~k ~weighted:true))
-        (Printf.sprintf "GK18 ~ %.0f"
-           (norm *. float_of_int k *. Float.log2 (float_of_int n)));
-      hr ())
-    ks;
-  fmt
-    "shape check: derandomized sizes track the randomized ones (no log n \
-     overhead as in [GK18]),\nand all stretches are exactly within 2k-1.\n"
+  let cols =
+    [
+      T.col ~align:`L ~w:30 "algorithm";
+      T.col ~w:3 "k";
+      T.col ~w:9 "edges";
+      T.col ~w:12 "edges/n^(1+1/k)";
+      T.col ~w:9 ~render:T.pretty "stretch";
+      T.col ~w:10 "rounds";
+      T.col ~align:`L ~title:"" ~w:1 "note";
+    ]
+  in
+  let bcols =
+    [
+      T.col ~align:`L ~title:"" ~w:30 "algorithm";
+      T.col ~title:"" ~w:3 "k";
+      T.col ~title:"" ~w:9 "edges";
+      T.col ~align:`L ~title:"" ~w:12 "gk18";
+    ]
+  in
+  let sections =
+    List.concat_map
+      (fun k ->
+        let norm = fi n ** (1.0 +. (1.0 /. fi k)) in
+        (* m must clear n^(1+1/k) by a healthy factor for compression to be
+           visible at all. *)
+        let avg_degree = Float.min (fi (n - 1) /. 3.0) (6.0 *. norm /. fi n) in
+        let rng = Rng.create (100 + k) in
+        let gu = Generators.connected_gnp ~rng ~n ~avg_degree in
+        let gw =
+          Generators.randomize_weights ~rng:(Rng.create 8) ~lo:1 ~hi:(n * n) gu
+        in
+        let stretch_bound s =
+          T.le ~id:"stretch<=2k-1" ~descr:"the (2k-1)-spanner guarantee" s
+            (fi ((2 * k) - 1))
+        in
+        let fields ?note name size s rounds =
+          [
+            ("algorithm", T.Str name);
+            ("k", T.Int k);
+            ("edges", T.Int size);
+            ("edges/n^(1+1/k)", T.Float (fi size /. norm));
+            ("stretch", T.Float s);
+            ("rounds", T.Int rounds);
+            ("note", T.Str (Option.value note ~default:""));
+          ]
+        in
+        let row ?(extra = []) name g sp =
+          let s = stretch_of g sp.Spanner.keep in
+          T.row
+            ~bounds:(stretch_bound s :: extra)
+            (fields name (Spanner.size sp) s (Spanner.total_rounds sp))
+        in
+        let derand_bound ~weighted size =
+          T.le ~id:"size<=det-bound"
+            ~descr:"Thm 1.4's analytic size bound" (fi size)
+            (Bs_derand.size_bound ~n ~k ~weighted)
+        in
+        let bs_u = Baswana_sen.run ~rng:(Rng.create 3) ~k gu in
+        let bs_w = Baswana_sen.run ~rng:(Rng.create 3) ~k gw in
+        let de_u = Bs_derand.run ~k gu in
+        let de_w = Bs_derand.run ~k gw in
+        let bd = Bs_distributed.run ~seed:11 ~k gw in
+        let bd_sp = bd.Bs_distributed.spanner in
+        let bd_s = stretch_of gw bd_sp.Spanner.keep in
+        let bd_rounds = bd.Bs_distributed.network_stats.Network.rounds in
+        let bsb = Bs_derand.size_bound ~n ~k ~weighted:true in
+        let gkb = norm *. fi k *. Float.log2 (fi n) in
+        [
+          T.section ~rule:false ~cols
+            (Printf.sprintf "k%d" k)
+            [
+              row "[BS07] randomized, unweighted" gu bs_u.Baswana_sen.spanner;
+              row "[BS07] randomized, weighted" gw bs_w.Baswana_sen.spanner;
+              row
+                ~extra:
+                  [
+                    derand_bound ~weighted:false
+                      (Spanner.size de_u.Bs_derand.spanner);
+                  ]
+                "this paper Thm 1.4, unweighted" gu de_u.Bs_derand.spanner;
+              row
+                ~extra:
+                  [
+                    derand_bound ~weighted:true
+                      (Spanner.size de_w.Bs_derand.spanner);
+                  ]
+                "this paper Thm 1.4, weighted" gw de_w.Bs_derand.spanner;
+              T.row
+                ~bounds:
+                  [
+                    stretch_bound bd_s;
+                    T.le ~id:"rounds<=2k+3"
+                      ~descr:"the O(k) CONGEST round bound" (fi bd_rounds)
+                      (fi ((2 * k) + 3));
+                  ]
+                (fields ~note:" <- real protocol rounds"
+                   "[BS07] as CONGEST program" (Spanner.size bd_sp) bd_s
+                   bd_rounds);
+            ];
+          T.section ~cols:bcols
+            (Printf.sprintf "k%d-bounds" k)
+            [
+              T.row
+                [
+                  ("algorithm", T.Str "(bounds) BS07/ours vs GK18");
+                  ("k", T.Int k);
+                  ("edges", T.Str (Printf.sprintf "%.0f" bsb));
+                  ("gk18", T.Str (Printf.sprintf "GK18 ~ %.0f" gkb));
+                  ("bs_bound", T.Float bsb);
+                  ("gk18_bound", T.Float gkb);
+                ];
+            ];
+        ])
+      ks
+  in
+  let prose =
+    T.section
+      ~caption:
+        [
+          Printf.sprintf
+            "n = %d; every row checks measured max stretch <= 2k-1 (exact \
+             where affordable, sampled above)."
+            n;
+        ]
+      ~rule:false ~cols:[] "prose" []
+  in
+  T.make ~id:"t2" ~title:"T2 (Table 2): (2k-1)-spanners — size vs n^(1+1/k)"
+    ~params:[ ("quick", T.Bool quick); ("n", T.Int n) ]
+    ~notes:
+      [
+        "shape check: derandomized sizes track the randomized ones (no log n \
+         overhead as in [GK18]),";
+        "and all stretches are exactly within 2k-1.";
+      ]
+    (prose :: sections)
 
 (* ------------------------------------------------------------------ *)
 (* T3 — Theorem 1.6: deterministic ultra-sparse spanners                *)
 (* ------------------------------------------------------------------ *)
 
 let table3 ~quick () =
-  header "T3 (Thm 1.6): deterministic ultra-sparse spanners, n + n/t edges";
   let n = if quick then 1024 else 4096 in
   let graphs =
     [
@@ -158,132 +280,284 @@ let table3 ~quick () =
         let rng = Rng.create 6 in
         Generators.ensure_connected ~rng
           (Generators.random_geometric ~rng ~n
-             ~radius:(2.0 *. sqrt (Float.log2 (float_of_int n) /. float_of_int n))) );
+             ~radius:(2.0 *. sqrt (Float.log2 (fi n) /. fi n))) );
     ]
   in
-  fmt "%-20s %4s %9s %9s %8s %9s %11s %8s\n" "graph" "t" "edges" "bound"
-    "t_inner" "stretch" "str/(t·lg n)" "rounds";
-  hr ();
-  List.iter
-    (fun (name, g) ->
-      List.iter
-        (fun t ->
-          let out = Ultra_sparse.run ~t g in
-          let sp = out.Ultra_sparse.spanner in
-          let s = stretch_of g sp.Spanner.keep in
-          fmt "%-20s %4d %9d %9d %8d %9s %11.2f %8d%s\n" name t
-            (Spanner.size sp)
-            (Ultra_sparse.bound ~n:(Graph.n g) ~t)
-            out.Ultra_sparse.t_inner (pretty_float s)
-            (s /. (float_of_int t *. Float.log2 (float_of_int (Graph.n g))))
-            (Spanner.total_rounds sp)
-            (if Spanner.size sp <= Ultra_sparse.bound ~n:(Graph.n g) ~t then ""
-             else "  SIZE VIOLATION"))
-        [ 1; 2; 4; 8; 16 ];
-      hr ())
-    graphs;
-  fmt
-    "shape check: edges <= n + n/t always (deterministic guarantee); \
-     stretch grows ~ linearly in t\n(constant str/(t·lg n) column), the \
-     optimal tradeoff of [Elk07, DGPV09].\n"
+  let cols =
+    [
+      T.col ~align:`L ~w:20 "graph";
+      T.col ~w:4 "t";
+      T.col ~w:9 "edges";
+      T.col ~w:9 "bound";
+      T.col ~w:8 "t_inner";
+      T.col ~w:9 ~render:T.pretty "stretch";
+      T.col ~w:11 "str/(t·lg n)";
+      T.col ~w:8 "rounds";
+    ]
+  in
+  let sections =
+    List.mapi
+      (fun gi (name, g) ->
+        let rows =
+          List.map
+            (fun t ->
+              let out = Ultra_sparse.run ~t g in
+              let sp = out.Ultra_sparse.spanner in
+              let s = stretch_of g sp.Spanner.keep in
+              let bound = Ultra_sparse.bound ~n:(Graph.n g) ~t in
+              T.row
+                ~bounds:
+                  [
+                    T.le ~id:"size<=n+n/t"
+                      ~descr:"Thm 1.6's deterministic size guarantee"
+                      (fi (Spanner.size sp))
+                      (fi bound);
+                  ]
+                [
+                  ("graph", T.Str name);
+                  ("t", T.Int t);
+                  ("edges", T.Int (Spanner.size sp));
+                  ("bound", T.Int bound);
+                  ("t_inner", T.Int out.Ultra_sparse.t_inner);
+                  ("stretch", T.Float s);
+                  ( "str/(t·lg n)",
+                    T.Float (s /. (fi t *. Float.log2 (fi (Graph.n g)))) );
+                  ("rounds", T.Int (Spanner.total_rounds sp));
+                ])
+            [ 1; 2; 4; 8; 16 ]
+        in
+        T.section ~cols (Printf.sprintf "g%d" gi) rows)
+      graphs
+  in
+  T.make ~id:"t3"
+    ~title:"T3 (Thm 1.6): deterministic ultra-sparse spanners, n + n/t edges"
+    ~params:[ ("quick", T.Bool quick); ("n", T.Int n) ]
+    ~notes:
+      [
+        "shape check: edges <= n + n/t always (deterministic guarantee); \
+         stretch grows ~ linearly in t";
+        "(constant str/(t·lg n) column), the optimal tradeoff of [Elk07, \
+         DGPV09].";
+      ]
+    sections
 
 (* ------------------------------------------------------------------ *)
 (* T4 — Lemma 4.1: stretch-friendly partitions                          *)
 (* ------------------------------------------------------------------ *)
 
 let table4 ~quick () =
-  header "T4 (Lemma 4.1): stretch-friendly O(t)-partitions";
   let n = if quick then 2000 else 8000 in
   let g =
     Generators.weighted_connected_gnp ~rng:(Rng.create 11) ~n ~avg_degree:8.0
       ~max_w:100000
   in
-  fmt "graph: weighted gnp, n=%d m=%d; bound columns from the lemma.\n"
-    (Graph.n g) (Graph.m g);
-  fmt "%4s %10s %8s %8s %8s %8s %9s %13s %6s\n" "t" "clusters" "<= n/t"
-    "minsize" "radius" "< 3·2^i" "sf?" "rounds" "<=c·t·lg*";
-  hr ();
-  List.iter
-    (fun t ->
-      let p, info = Stretch_friendly.partition ~t g in
-      let iters = info.Stretch_friendly.iterations in
-      let sizes = Partition.sizes p in
-      fmt "%4d %10d %8d %8d %8d %8d %9b %13d %6d\n" t (Partition.count p)
-        (Graph.n g / t)
-        (Array.fold_left min max_int sizes)
-        (Partition.max_radius p)
-        (3 * (1 lsl max 0 iters))
-        (Stretch_friendly.is_stretch_friendly g p)
-        (Ultraspan.Rounds.total info.Stretch_friendly.rounds)
-        (16 * t * (Coloring.log_star (Graph.n g) + 6)))
-    [ 2; 4; 8; 16; 32; 64; 128 ];
-  fmt
-    "\nand the same algorithm with every cross-cluster exchange executed as \
-     real message-passing waves\n(Sf_distributed; output is bit-identical, \
-     rounds are measured, not charged):\n";
-  fmt "%4s %12s %8s %12s\n" "t" "real rounds" "waves" "messages";
-  List.iter
-    (fun t ->
-      let out = Sf_distributed.partition ~t g in
-      fmt "%4d %12d %8d %12d\n" t out.Sf_distributed.real_rounds
-        out.Sf_distributed.waves out.Sf_distributed.messages)
-    [ 2; 8; 32; 128 ];
-  fmt "\nshape check: every invariant of Lemma 4.1 holds; rounds linear in t.\n"
+  let rbool = function T.Bool b -> string_of_bool b | v -> T.default_render v in
+  let cols =
+    [
+      T.col ~w:4 "t";
+      T.col ~w:10 "clusters";
+      T.col ~w:8 "<= n/t";
+      T.col ~w:8 "minsize";
+      T.col ~w:8 "radius";
+      T.col ~w:8 "< 3·2^i";
+      T.col ~w:9 ~render:rbool "sf?";
+      T.col ~w:13 "rounds";
+      T.col ~w:6 "<=c·t·lg*";
+    ]
+  in
+  let rows =
+    List.map
+      (fun t ->
+        let p, info = Stretch_friendly.partition ~t g in
+        let iters = info.Stretch_friendly.iterations in
+        let sizes = Partition.sizes p in
+        let clusters = Partition.count p in
+        let minsize = Array.fold_left min max_int sizes in
+        let radius = Partition.max_radius p in
+        let radius_lim = 3 * (1 lsl max 0 iters) in
+        let sf = Stretch_friendly.is_stretch_friendly g p in
+        let rounds = Rounds.total info.Stretch_friendly.rounds in
+        let rounds_lim = 16 * t * (Coloring.log_star (Graph.n g) + 6) in
+        T.row
+          ~bounds:
+            [
+              T.le ~id:"clusters<=n/t" (fi clusters) (fi (Graph.n g / t));
+              T.ge ~id:"minsize>=t" ~descr:"every cluster has >= t vertices"
+                (fi minsize) (fi t);
+              T.bound ~id:"radius<3·2^i" ~descr:"Lemma 4.1's radius invariant"
+                ~observed:(fi radius) ~limit:(fi radius_lim)
+                (radius < radius_lim);
+              T.flag ~id:"stretch-friendly"
+                ~descr:"the partition is stretch-friendly" sf;
+              T.le ~id:"rounds<=16t(lg*+6)" ~descr:"round accounting, O(t)"
+                (fi rounds) (fi rounds_lim);
+            ]
+          [
+            ("t", T.Int t);
+            ("clusters", T.Int clusters);
+            ("<= n/t", T.Int (Graph.n g / t));
+            ("minsize", T.Int minsize);
+            ("radius", T.Int radius);
+            ("< 3·2^i", T.Int radius_lim);
+            ("sf?", T.Bool sf);
+            ("rounds", T.Int rounds);
+            ("<=c·t·lg*", T.Int rounds_lim);
+          ])
+      [ 2; 4; 8; 16; 32; 64; 128 ]
+  in
+  let dcols =
+    [
+      T.col ~w:4 "t";
+      T.col ~w:12 "real rounds";
+      T.col ~w:8 "waves";
+      T.col ~w:12 "messages";
+    ]
+  in
+  let drows =
+    List.map
+      (fun t ->
+        let out = Sf_distributed.partition ~t g in
+        T.row
+          [
+            ("t", T.Int t);
+            ("real rounds", T.Int out.Sf_distributed.real_rounds);
+            ("waves", T.Int out.Sf_distributed.waves);
+            ("messages", T.Int out.Sf_distributed.messages);
+          ])
+      [ 2; 8; 32; 128 ]
+  in
+  T.make ~id:"t4" ~title:"T4 (Lemma 4.1): stretch-friendly O(t)-partitions"
+    ~params:
+      [ ("quick", T.Bool quick); ("n", T.Int (Graph.n g)); ("m", T.Int (Graph.m g)) ]
+    ~notes:
+      [
+        "";
+        "shape check: every invariant of Lemma 4.1 holds; rounds linear in t.";
+      ]
+    [
+      T.section
+        ~caption:
+          [
+            Printf.sprintf
+              "graph: weighted gnp, n=%d m=%d; bound columns from the lemma."
+              (Graph.n g) (Graph.m g);
+          ]
+        ~rule:false ~cols "partition" rows;
+      T.section
+        ~caption:
+          [
+            "";
+            "and the same algorithm with every cross-cluster exchange \
+             executed as real message-passing waves";
+            "(Sf_distributed; output is bit-identical, rounds are measured, \
+             not charged):";
+          ]
+        ~rule:false ~cols:dcols "distributed" drows;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* F1 — Figure 1 / Lemma F.2: cluster growing                           *)
 (* ------------------------------------------------------------------ *)
 
 let fig1 ~quick () =
-  header
-    "F1 (Figure 1 / Lemma F.2): cluster growing with good cutting distances";
   let side = if quick then 40 else 64 in
   let graphs =
     [
       ("grid", Generators.grid side side);
       ( "unweighted gnp",
-        Generators.connected_gnp ~rng:(Rng.create 13)
-          ~n:(side * side) ~avg_degree:6.0 );
+        Generators.connected_gnp ~rng:(Rng.create 13) ~n:(side * side)
+          ~avg_degree:6.0 );
     ]
   in
-  List.iter
-    (fun (name, g) ->
-      List.iter
-        (fun t ->
-          let out = Clustering_spanner.ultra_sparse ~t g in
-          fmt "\n%s (n=%d), t=%d: final edges=%d (n + n/t = %d), stretch=%s\n"
-            name (Graph.n g) t
-            (Spanner.size out.Clustering_spanner.spanner)
-            (Graph.n g + (Graph.n g / t))
-            (pretty_float
-               (stretch_of g out.Clustering_spanner.spanner.Spanner.keep));
-          fmt "  %4s %9s %10s %9s %6s %8s %9s %7s\n" "step" "active"
-            "clustered" "clusters" "bad" "maxcut" "E_inter" "xi_avg";
-          List.iter
-            (fun s ->
-              fmt "  %4d %9d %10d %9d %6d %8d %9d %7.2f\n"
-                s.Clustering_spanner.step s.Clustering_spanner.active_before
-                s.Clustering_spanner.clustered
-                s.Clustering_spanner.clusters_formed
-                s.Clustering_spanner.bad_clusters
-                s.Clustering_spanner.max_cut_distance
-                s.Clustering_spanner.inter_edges_added
-                s.Clustering_spanner.xi_avg)
-            out.Clustering_spanner.steps)
-        [ 2; 4 ];
-      hr ())
-    graphs;
-  fmt
-    "shape check: the active count decays geometrically (Lemma F.2's 7/10 \
-     factor), cutting distances\nstay below 4t, and inter-cluster witness \
-     edges stay near n/t.\n"
+  let sections =
+    List.concat_map
+      (fun (name, g) ->
+        List.map
+          (fun t ->
+            let out = Clustering_spanner.ultra_sparse ~t g in
+            let final = Spanner.size out.Clustering_spanner.spanner in
+            let target = Graph.n g + (Graph.n g / t) in
+            let s =
+              stretch_of g out.Clustering_spanner.spanner.Spanner.keep
+            in
+            let cols =
+              [
+                T.col ~w:4 "step";
+                T.col ~w:9 "active";
+                T.col ~w:10 "clustered";
+                T.col ~w:9 "clusters";
+                T.col ~w:6 "bad";
+                T.col ~w:8 "maxcut";
+                T.col ~w:9 "E_inter";
+                T.col ~w:7 "xi_avg";
+              ]
+            in
+            let rows =
+              List.mapi
+                (fun i st ->
+                  let bounds =
+                    T.bound ~id:"maxcut<4t"
+                      ~descr:"Lemma F.2's cutting-distance bound"
+                      ~observed:(fi st.Clustering_spanner.max_cut_distance)
+                      ~limit:(fi (4 * t))
+                      (st.Clustering_spanner.max_cut_distance < 4 * t)
+                    ::
+                    (if i = 0 then
+                       [
+                         T.le ~id:"size<=n+n/t"
+                           ~descr:"final spanner size (Thm F.1)" (fi final)
+                           (fi target);
+                       ]
+                     else [])
+                  in
+                  T.row ~bounds
+                    [
+                      ("step", T.Int st.Clustering_spanner.step);
+                      ("active", T.Int st.Clustering_spanner.active_before);
+                      ("clustered", T.Int st.Clustering_spanner.clustered);
+                      ("clusters", T.Int st.Clustering_spanner.clusters_formed);
+                      ("bad", T.Int st.Clustering_spanner.bad_clusters);
+                      ("maxcut", T.Int st.Clustering_spanner.max_cut_distance);
+                      ( "E_inter",
+                        T.Int st.Clustering_spanner.inter_edges_added );
+                      ("xi_avg", T.Float st.Clustering_spanner.xi_avg);
+                    ])
+                out.Clustering_spanner.steps
+            in
+            T.section
+              ~caption:
+                [
+                  "";
+                  Printf.sprintf
+                    "%s (n=%d), t=%d: final edges=%d (n + n/t = %d), \
+                     stretch=%s"
+                    name (Graph.n g) t final target (T.pretty_float s);
+                ]
+              ~indent:2 ~rule:(t = 4) ~cols
+              (Printf.sprintf "%s-t%d"
+                 (if name = "grid" then "grid" else "gnp")
+                 t)
+              rows)
+          [ 2; 4 ])
+      graphs
+  in
+  T.make ~id:"f1"
+    ~title:
+      "F1 (Figure 1 / Lemma F.2): cluster growing with good cutting distances"
+    ~params:[ ("quick", T.Bool quick); ("side", T.Int side) ]
+    ~notes:
+      [
+        "shape check: the active count decays geometrically (Lemma F.2's \
+         7/10 factor), cutting distances";
+        "stay below 4t, and inter-cluster witness edges stay near n/t.";
+      ]
+    sections
 
 (* ------------------------------------------------------------------ *)
 (* T5 — Theorems 1.7 / F.1: spanners from clusterings                   *)
 (* ------------------------------------------------------------------ *)
 
 let table5 ~quick () =
-  header "T5 (Thm 1.7 / F.1): unweighted spanners from separated clusterings";
   let side = if quick then 40 else 64 in
   let graphs =
     [
@@ -294,154 +568,280 @@ let table5 ~quick () =
           ~avg_degree:8.0 );
     ]
   in
-  fmt "%-16s %-22s %9s %9s %9s %9s %8s\n" "graph" "construction" "edges"
-    "edges/n" "stretch" "treediam" "xi_avg";
-  hr ();
-  List.iter
-    (fun (name, g) ->
-      let nf = float_of_int (Graph.n g) in
-      let sparse = Clustering_spanner.sparse g in
-      let xi =
-        Stats.mean
-          (Array.of_list
-             (List.map
-                (fun s -> s.Clustering_spanner.xi_avg)
-                sparse.Clustering_spanner.steps))
-      in
-      fmt "%-16s %-22s %9d %9.2f %9s %9d %8.2f\n" name "Thm 1.7 (sparse)"
-        (Spanner.size sparse.Clustering_spanner.spanner)
-        (float_of_int (Spanner.size sparse.Clustering_spanner.spanner) /. nf)
-        (pretty_float
-           (stretch_of g sparse.Clustering_spanner.spanner.Spanner.keep))
-        sparse.Clustering_spanner.max_tree_diameter xi;
-      List.iter
-        (fun t ->
-          let out = Clustering_spanner.ultra_sparse ~t g in
-          fmt "%-16s %-22s %9d %9.2f %9s %9d %8s\n" name
-            (Printf.sprintf "Thm F.1 (t=%d)" t)
-            (Spanner.size out.Clustering_spanner.spanner)
-            (float_of_int (Spanner.size out.Clustering_spanner.spanner) /. nf)
-            (pretty_float
-               (stretch_of g out.Clustering_spanner.spanner.Spanner.keep))
-            out.Clustering_spanner.max_tree_diameter "-")
-        [ 2; 8 ];
-      hr ())
-    graphs;
-  fmt
-    "shape check: sizes near n + n/t, stretch tracks the cluster tree \
-     diameters (O(D + t)).\n"
+  let cols =
+    [
+      T.col ~align:`L ~w:16 "graph";
+      T.col ~align:`L ~w:22 "construction";
+      T.col ~w:9 "edges";
+      T.col ~w:9 "edges/n";
+      T.col ~w:9 ~render:T.pretty "stretch";
+      T.col ~w:9 "treediam";
+      T.col ~w:8 "xi_avg";
+    ]
+  in
+  let stretch_bound s treediam =
+    T.le ~id:"stretch<=2D+1" ~descr:"stretch tracks the cluster tree diameter"
+      s
+      ((2.0 *. fi treediam) +. 1.0)
+  in
+  let sections =
+    List.mapi
+      (fun gi (name, g) ->
+        let nf = fi (Graph.n g) in
+        let sparse = Clustering_spanner.sparse g in
+        let xi =
+          Stats.mean
+            (Array.of_list
+               (List.map
+                  (fun s -> s.Clustering_spanner.xi_avg)
+                  sparse.Clustering_spanner.steps))
+        in
+        let ssize = Spanner.size sparse.Clustering_spanner.spanner in
+        let sstr = stretch_of g sparse.Clustering_spanner.spanner.Spanner.keep in
+        let sdiam = sparse.Clustering_spanner.max_tree_diameter in
+        let sparse_row =
+          T.row
+            ~bounds:
+              [
+                T.le ~id:"size<=2n" ~descr:"Thm 1.7's O(n) size" (fi ssize)
+                  (2.0 *. nf);
+                stretch_bound sstr sdiam;
+              ]
+            [
+              ("graph", T.Str name);
+              ("construction", T.Str "Thm 1.7 (sparse)");
+              ("edges", T.Int ssize);
+              ("edges/n", T.Float (fi ssize /. nf));
+              ("stretch", T.Float sstr);
+              ("treediam", T.Int sdiam);
+              ("xi_avg", T.Float xi);
+            ]
+        in
+        let ultra_rows =
+          List.map
+            (fun t ->
+              let out = Clustering_spanner.ultra_sparse ~t g in
+              let size = Spanner.size out.Clustering_spanner.spanner in
+              let s =
+                stretch_of g out.Clustering_spanner.spanner.Spanner.keep
+              in
+              let diam = out.Clustering_spanner.max_tree_diameter in
+              T.row
+                ~bounds:
+                  [
+                    T.le ~id:"size<=n+n/t" ~descr:"Thm F.1's size bound"
+                      (fi size)
+                      (nf +. (nf /. fi t));
+                    stretch_bound s diam;
+                  ]
+                [
+                  ("graph", T.Str name);
+                  ("construction", T.Str (Printf.sprintf "Thm F.1 (t=%d)" t));
+                  ("edges", T.Int size);
+                  ("edges/n", T.Float (fi size /. nf));
+                  ("stretch", T.Float s);
+                  ("treediam", T.Int diam);
+                ])
+            [ 2; 8 ]
+        in
+        T.section ~cols (Printf.sprintf "g%d" gi) (sparse_row :: ultra_rows))
+      graphs
+  in
+  T.make ~id:"t5"
+    ~title:
+      "T5 (Thm 1.7 / F.1): unweighted spanners from separated clusterings"
+    ~params:[ ("quick", T.Bool quick); ("side", T.Int side) ]
+    ~notes:
+      [
+        "shape check: sizes near n + n/t, stretch tracks the cluster tree \
+         diameters (O(D + t)).";
+      ]
+    sections
 
 (* ------------------------------------------------------------------ *)
 (* T6 — Theorems G.1 / 1.9: connectivity certificates                   *)
 (* ------------------------------------------------------------------ *)
 
 let table6 ~quick () =
-  header "T6 (Thm G.1 / Thm 1.9): sparse connectivity certificates";
   let n = if quick then 150 else 300 in
-  fmt "%-18s %3s %5s %9s %9s %10s %10s %9s\n" "graph" "k" "eps" "algorithm"
-    "edges" "edges/(kn)" "lam G->H" "rounds";
-  hr ();
   let workloads =
     [
-      ("harary+noise", fun k ->
-        let g0 = Generators.harary ~k:(k + 1) ~n in
-        let rng = Rng.create 19 in
-        let extra =
-          List.init n (fun _ ->
-              let a = Rng.int rng n and b = Rng.int rng n in
-              if a = b then None else Some (a, b, 1))
-        in
-        let base =
-          Array.to_list
-            (Array.map (fun e -> (e.Graph.u, e.Graph.v, 1)) (Graph.edges g0))
-        in
-        Graph.of_edges ~n (base @ List.filter_map Fun.id extra));
-      ("dense gnp", fun k ->
-        let rng = Rng.create (23 + k) in
-        Generators.connected_gnp ~rng ~n
-          ~avg_degree:(float_of_int (4 * k) +. 8.0));
+      ( "harary+noise",
+        fun k ->
+          let g0 = Generators.harary ~k:(k + 1) ~n in
+          let rng = Rng.create 19 in
+          let extra =
+            List.init n (fun _ ->
+                let a = Rng.int rng n and b = Rng.int rng n in
+                if a = b then None else Some (a, b, 1))
+          in
+          let base =
+            Array.to_list
+              (Array.map (fun e -> (e.Graph.u, e.Graph.v, 1)) (Graph.edges g0))
+          in
+          Graph.of_edges ~n (base @ List.filter_map Fun.id extra) );
+      ( "dense gnp",
+        fun k ->
+          let rng = Rng.create (23 + k) in
+          Generators.connected_gnp ~rng ~n ~avg_degree:(fi (4 * k) +. 8.0) );
     ]
   in
-  List.iter
-    (fun (wname, mk) ->
-      List.iter
-        (fun k ->
-          let g = mk k in
-          let eps = 0.5 in
-          let row name (c : Certificate.t) =
-            let lg, lh = Certificate.preserved_connectivity g c in
-            fmt "%-18s %3d %5.2f %9s %9d %10.2f %6d->%-3d %9d%s\n" wname k eps
-              name (Certificate.size c)
-              (float_of_int (Certificate.size c)
-              /. float_of_int (k * Graph.n g))
-              lg lh
-              (Ultraspan.Rounds.total c.Certificate.rounds)
-              (if lh >= min k lg then "" else "  VIOLATION")
-          in
-          row "NI" (Nagamochi_ibaraki.certificate ~k g);
-          row "Thurimella" (Thurimella.certificate ~k g);
-          row "SpanPack"
-            (Spanner_packing.run ~k ~epsilon:eps g).Spanner_packing.certificate;
-          let ks = Karger_split.run ~c:0.2 ~rng:(Rng.create 29) ~k ~epsilon:0.45 g in
-          row
-            (Printf.sprintf "Karger/%d" ks.Karger_split.groups)
-            ks.Karger_split.certificate;
-          hr ())
-        (if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ]))
-    workloads;
-  fmt
-    "shape check: all certificates preserve connectivity exactly (lam G->H \
-     equal up to the k cap);\nspanner packing sizes ~ (1+eps)kn vs \
-     Thurimella's k(n-1); Karger splitting keeps polylog rounds as k grows.\n"
+  let cols =
+    [
+      T.col ~align:`L ~w:18 "graph";
+      T.col ~w:3 "k";
+      T.col ~w:5 "eps";
+      T.col ~w:9 "algorithm";
+      T.col ~w:9 "edges";
+      T.col ~w:10 "edges/(kn)";
+      T.col ~w:10 "lam G->H";
+      T.col ~w:9 "rounds";
+    ]
+  in
+  let sections =
+    List.concat_map
+      (fun (wname, mk) ->
+        List.map
+          (fun k ->
+            let g = mk k in
+            let eps = 0.5 in
+            let row ?size_limit name (c : Certificate.t) =
+              let lg, lh = Certificate.preserved_connectivity g c in
+              let size = Certificate.size c in
+              let bounds =
+                T.flag ~id:"connectivity"
+                  ~descr:"lam(H) >= min(k, lam(G)) — Thm G.1"
+                  (lh >= min k lg)
+                ::
+                (match size_limit with
+                | Some (bid, lim) -> [ T.le ~id:bid (fi size) lim ]
+                | None -> [])
+              in
+              T.row ~bounds
+                [
+                  ("graph", T.Str wname);
+                  ("k", T.Int k);
+                  ("eps", T.Float eps);
+                  ("algorithm", T.Str name);
+                  ("edges", T.Int size);
+                  ("edges/(kn)", T.Float (fi size /. fi (k * Graph.n g)));
+                  ("lam G->H", T.Str (Printf.sprintf "%d->%d" lg lh));
+                  ("lam_g", T.Int lg);
+                  ("lam_h", T.Int lh);
+                  ("rounds", T.Int (Rounds.total c.Certificate.rounds));
+                ]
+            in
+            let kn = fi (k * Graph.n g) in
+            let ks =
+              Karger_split.run ~c:0.2 ~rng:(Rng.create 29) ~k ~epsilon:0.45 g
+            in
+            T.section ~cols
+              (Printf.sprintf "%s-k%d"
+                 (if wname = "harary+noise" then "harary" else "gnp")
+                 k)
+              [
+                row ~size_limit:("size<=kn", kn) "NI"
+                  (Nagamochi_ibaraki.certificate ~k g);
+                row ~size_limit:("size<=kn", kn) "Thurimella"
+                  (Thurimella.certificate ~k g);
+                row
+                  ~size_limit:("size<=(1+eps)kn", (1.0 +. eps) *. kn)
+                  "SpanPack"
+                  (Spanner_packing.run ~k ~epsilon:eps g)
+                    .Spanner_packing.certificate;
+                row
+                  (Printf.sprintf "Karger/%d" ks.Karger_split.groups)
+                  ks.Karger_split.certificate;
+              ])
+          (if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ]))
+      workloads
+  in
+  T.make ~id:"t6"
+    ~title:"T6 (Thm G.1 / Thm 1.9): sparse connectivity certificates"
+    ~params:[ ("quick", T.Bool quick); ("n", T.Int n) ]
+    ~notes:
+      [
+        "shape check: all certificates preserve connectivity exactly (lam \
+         G->H equal up to the k cap);";
+        "spanner packing sizes ~ (1+eps)kn vs Thurimella's k(n-1); Karger \
+         splitting keeps polylog rounds as k grows.";
+      ]
+    sections
 
 (* ------------------------------------------------------------------ *)
 (* A1 — ablation: derandomization vs random sampling                    *)
 (* ------------------------------------------------------------------ *)
 
 let ablation_derand ~quick () =
-  header
-    "A1 (ablation): conditional expectation vs independent sampling, same \
-     graphs";
   let n = if quick then 512 else 2048 in
   let seeds = 8 in
-  fmt "%3s %10s %12s %12s %12s %12s\n" "k" "derand" "rand(mean)" "rand(min)"
-    "rand(max)" "det.bound";
-  hr ();
-  List.iter
-    (fun k ->
-      let rng = Rng.create (31 + k) in
-      let g =
-        Generators.weighted_connected_gnp ~rng ~n
-          ~avg_degree:
-            (Float.min
-               (float_of_int (n - 1) /. 2.0)
-               (3.0 *. (float_of_int n ** (1.0 /. float_of_int k))))
-          ~max_w:(n * n)
-      in
-      let de = float_of_int (Spanner.size (Bs_derand.run ~k g).Bs_derand.spanner) in
-      let sizes =
-        Array.init seeds (fun i ->
-            float_of_int
-              (Spanner.size
-                 (Baswana_sen.run ~rng:(Rng.create (500 + i)) ~k g)
-                   .Baswana_sen.spanner))
-      in
-      let lo, hi = Stats.min_max sizes in
-      fmt "%3d %10.0f %12.1f %12.0f %12.0f %12.0f\n" k de (Stats.mean sizes) lo
-        hi
-        (Bs_derand.size_bound ~n ~k ~weighted:true))
-    [ 2; 3; 4; 5 ];
-  fmt
-    "\nshape check: the derandomized size is a deterministic point inside \
-     (or near) the randomized\ndistribution and always under the analytic \
-     bound — matching BS07's tradeoff without randomness.\n"
+  let cols =
+    [
+      T.col ~w:3 "k";
+      T.col ~w:10 ~render:(fun v -> Printf.sprintf "%.0f" (T.to_float v)) "derand";
+      T.col ~w:12 ~render:(fun v -> Printf.sprintf "%.1f" (T.to_float v)) "rand(mean)";
+      T.col ~w:12 ~render:(fun v -> Printf.sprintf "%.0f" (T.to_float v)) "rand(min)";
+      T.col ~w:12 ~render:(fun v -> Printf.sprintf "%.0f" (T.to_float v)) "rand(max)";
+      T.col ~w:12 ~render:(fun v -> Printf.sprintf "%.0f" (T.to_float v)) "det.bound";
+    ]
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let rng = Rng.create (31 + k) in
+        let g =
+          Generators.weighted_connected_gnp ~rng ~n
+            ~avg_degree:
+              (Float.min (fi (n - 1) /. 2.0) (3.0 *. (fi n ** (1.0 /. fi k))))
+            ~max_w:(n * n)
+        in
+        let de = fi (Spanner.size (Bs_derand.run ~k g).Bs_derand.spanner) in
+        let sizes =
+          Array.init seeds (fun i ->
+              fi
+                (Spanner.size
+                   (Baswana_sen.run ~rng:(Rng.create (500 + i)) ~k g)
+                     .Baswana_sen.spanner))
+        in
+        let lo, hi = Stats.min_max sizes in
+        let bnd = Bs_derand.size_bound ~n ~k ~weighted:true in
+        T.row
+          ~bounds:
+            [
+              T.le ~id:"derand<=det-bound"
+                ~descr:"the deterministic size is under the analytic bound" de
+                bnd;
+            ]
+          [
+            ("k", T.Int k);
+            ("derand", T.Float de);
+            ("rand(mean)", T.Float (Stats.mean sizes));
+            ("rand(min)", T.Float lo);
+            ("rand(max)", T.Float hi);
+            ("det.bound", T.Float bnd);
+          ])
+      [ 2; 3; 4; 5 ]
+  in
+  T.make ~id:"a1"
+    ~title:
+      "A1 (ablation): conditional expectation vs independent sampling, same \
+       graphs"
+    ~params:[ ("quick", T.Bool quick); ("n", T.Int n); ("seeds", T.Int seeds) ]
+    ~notes:
+      [
+        "";
+        "shape check: the derandomized size is a deterministic point inside \
+         (or near) the randomized";
+        "distribution and always under the analytic bound — matching BS07's \
+         tradeoff without randomness.";
+      ]
+    [ T.section ~rule:false ~cols "sizes" rows ]
 
 (* ------------------------------------------------------------------ *)
 (* A2 — ablation: matched merging vs naive star merging                 *)
 (* ------------------------------------------------------------------ *)
 
 let ablation_merge ~quick () =
-  header "A2 (ablation): Lemma 4.1 matched merging vs naive star merging";
   let scale = if quick then 1 else 2 in
   let graphs =
     [
@@ -453,283 +853,566 @@ let ablation_merge ~quick () =
           (Generators.random_geometric ~rng ~n:(800 * scale) ~radius:0.06) );
     ]
   in
-  fmt "%-20s %4s %14s %14s %12s %12s\n" "graph" "t" "radius(match)"
-    "radius(naive)" "clu(match)" "clu(naive)";
-  hr ();
-  List.iter
-    (fun (name, g) ->
-      List.iter
-        (fun t ->
-          let p1, _ = Stretch_friendly.partition ~t g in
-          let p2, _ =
-            Stretch_friendly.partition_with_strategy
-              ~strategy:Stretch_friendly.Naive_star ~t g
-          in
-          fmt "%-20s %4d %14d %14d %12d %12d\n" name t (Partition.max_radius p1)
-            (Partition.max_radius p2) (Partition.count p1) (Partition.count p2))
-        [ 8; 32 ];
-      hr ())
-    graphs;
-  fmt
-    "shape check: the matching step is what keeps the radius O(t); naive \
-     star merges can chain and inflate it.\n"
+  let cols =
+    [
+      T.col ~align:`L ~w:20 "graph";
+      T.col ~w:4 "t";
+      T.col ~w:14 "radius(match)";
+      T.col ~w:14 "radius(naive)";
+      T.col ~w:12 "clu(match)";
+      T.col ~w:12 "clu(naive)";
+    ]
+  in
+  let sections =
+    List.mapi
+      (fun gi (name, g) ->
+        let rows =
+          List.map
+            (fun t ->
+              let p1, _ = Stretch_friendly.partition ~t g in
+              let p2, _ =
+                Stretch_friendly.partition_with_strategy
+                  ~strategy:Stretch_friendly.Naive_star ~t g
+              in
+              T.row
+                ~bounds:
+                  [
+                    T.le ~id:"radius(match)<=2t"
+                      ~descr:"matched merging keeps the radius O(t)"
+                      (fi (Partition.max_radius p1))
+                      (fi (2 * t));
+                  ]
+                [
+                  ("graph", T.Str name);
+                  ("t", T.Int t);
+                  ("radius(match)", T.Int (Partition.max_radius p1));
+                  ("radius(naive)", T.Int (Partition.max_radius p2));
+                  ("clu(match)", T.Int (Partition.count p1));
+                  ("clu(naive)", T.Int (Partition.count p2));
+                ])
+            [ 8; 32 ]
+        in
+        T.section ~cols (Printf.sprintf "g%d" gi) rows)
+      graphs
+  in
+  T.make ~id:"a2"
+    ~title:"A2 (ablation): Lemma 4.1 matched merging vs naive star merging"
+    ~params:[ ("quick", T.Bool quick); ("scale", T.Int scale) ]
+    ~notes:
+      [
+        "shape check: the matching step is what keeps the radius O(t); naive \
+         star merges can chain and inflate it.";
+      ]
+    sections
 
 (* ------------------------------------------------------------------ *)
 (* T7 — Theorem 1.8: work-efficient weighted ultra-sparse spanners      *)
 (* ------------------------------------------------------------------ *)
 
 let table7 ~quick () =
-  header
-    "T7 (Thm 1.8): work-efficient weighted ultra-sparse spanners — \
-     weight classes + Thm 1.7 + Thm 1.2";
   let n = if quick then 512 else 2048 in
   let rng = Rng.create 41 in
   let g =
     Generators.weighted_connected_gnp ~rng ~n ~avg_degree:10.0 ~max_w:(n * 4)
   in
-  fmt "graph: weighted gnp n=%d m=%d, aspect ratio U <= %d\n" (Graph.n g)
-    (Graph.m g) (4 * n);
-  fmt "%-40s %4s %9s %9s %9s %10s\n" "pipeline" "t" "edges" "bound" "stretch"
-    "rounds";
-  hr ();
+  let cols =
+    [
+      T.col ~align:`L ~w:40 "pipeline";
+      T.col ~w:4 "t";
+      T.col ~w:9 "edges";
+      T.col ~w:9 "bound";
+      T.col ~w:9 ~render:T.pretty "stretch";
+      T.col ~w:10 "rounds";
+    ]
+  in
   (* Thm 1.8's sparse step: folklore weight classes over the Thm 1.7
      clustering spanner.  Thm 1.6's sparse step: derandomized linear size
      (heavier local computation, better stretch). *)
   let sparse_1_8 = Clustering_spanner.sparse_weighted ~epsilon:0.5 in
-  List.iter
-    (fun t ->
-      let a = Ultra_sparse.run ~t g in
-      let b = Ultra_sparse.run ~sparse:sparse_1_8 ~t g in
-      let row name (out : Ultra_sparse.outcome) =
-        let sp = out.Ultra_sparse.spanner in
-        fmt "%-40s %4d %9d %9d %9s %10d\n" name t (Spanner.size sp)
-          (Ultra_sparse.bound ~n:(Graph.n g) ~t)
-          (pretty_float (stretch_of g sp.Spanner.keep))
-          (Spanner.total_rounds sp)
-      in
-      row "Thm 1.6 (derandomized BS inside)" a;
-      row "Thm 1.8 (clustering + weight classes)" b;
-      hr ())
-    [ 2; 8 ];
+  let sections =
+    List.map
+      (fun t ->
+        let a = Ultra_sparse.run ~t g in
+        let b = Ultra_sparse.run ~sparse:sparse_1_8 ~t g in
+        let row name (out : Ultra_sparse.outcome) =
+          let sp = out.Ultra_sparse.spanner in
+          let bound = Ultra_sparse.bound ~n:(Graph.n g) ~t in
+          T.row
+            ~bounds:
+              [
+                T.le ~id:"size<=n+n/t" ~descr:"the n + n/t size bound"
+                  (fi (Spanner.size sp))
+                  (fi bound);
+              ]
+            [
+              ("pipeline", T.Str name);
+              ("t", T.Int t);
+              ("edges", T.Int (Spanner.size sp));
+              ("bound", T.Int bound);
+              ("stretch", T.Float (stretch_of g sp.Spanner.keep));
+              ("rounds", T.Int (Spanner.total_rounds sp));
+            ]
+        in
+        T.section ~cols
+          (Printf.sprintf "t%d" t)
+          [
+            row "Thm 1.6 (derandomized BS inside)" a;
+            row "Thm 1.8 (clustering + weight classes)" b;
+          ])
+      [ 2; 8 ]
+  in
   (* PRAM ledger of the Thm 1.7 engine (the work-efficiency claim). *)
   let cl = Clustering_spanner.sparse (Graph.with_unit_weights g) in
   let w = Pram.work cl.Clustering_spanner.pram in
   let d = Pram.depth cl.Clustering_spanner.pram in
-  let lg = Float.log2 (float_of_int (Graph.n g)) in
-  fmt
-    "PRAM ledger of the Thm 1.7 engine: work=%d (= %.1f x m·lg n), depth=%d \
-     (= %.1f x lg^2 n)\n"
-    w
-    (float_of_int w /. (float_of_int (Graph.m g) *. lg))
-    d
-    (float_of_int d /. (lg *. lg));
-  fmt
-    "shape check: both meet the n + n/t size bound; Thm 1.8 trades a \
-     log(U)-flavoured stretch factor for\nwork-efficiency (m·polylog work, \
-     polylog depth — the ledger above), as in the paper.\n"
+  let lg = Float.log2 (fi (Graph.n g)) in
+  let x_work = fi w /. (fi (Graph.m g) *. lg) in
+  let x_depth = fi d /. (lg *. lg) in
+  let pram =
+    T.section
+      ~caption:[ "PRAM ledger of the Thm 1.7 engine:" ]
+      ~rule:false
+      ~cols:
+        [
+          T.col ~w:9 "work";
+          T.col ~w:9 ~render:(fun v -> Printf.sprintf "%.1f" (T.to_float v))
+            "x m·lg n";
+          T.col ~w:9 "depth";
+          T.col ~w:9 ~render:(fun v -> Printf.sprintf "%.1f" (T.to_float v))
+            "x lg^2 n";
+        ]
+      "pram"
+      [
+        T.row
+          ~bounds:
+            [
+              T.le ~id:"work<=4mlgn" ~descr:"work-efficiency: O(m log n) work"
+                (fi w)
+                (4.0 *. fi (Graph.m g) *. lg);
+              T.le ~id:"depth<=4lg2n" ~descr:"polylog depth" (fi d)
+                (4.0 *. lg *. lg);
+            ]
+          [
+            ("work", T.Int w);
+            ("x m·lg n", T.Float x_work);
+            ("depth", T.Int d);
+            ("x lg^2 n", T.Float x_depth);
+          ];
+      ]
+  in
+  T.make ~id:"t7"
+    ~title:
+      "T7 (Thm 1.8): work-efficient weighted ultra-sparse spanners — weight \
+       classes + Thm 1.7 + Thm 1.2"
+    ~params:
+      [
+        ("quick", T.Bool quick);
+        ("n", T.Int (Graph.n g));
+        ("m", T.Int (Graph.m g));
+        ("max_aspect", T.Int (4 * n));
+      ]
+    ~notes:
+      [
+        "shape check: both meet the n + n/t size bound; Thm 1.8 trades a \
+         log(U)-flavoured stretch factor for";
+        "work-efficiency (m·polylog work, polylog depth — the ledger above), \
+         as in the paper.";
+      ]
+    ((match sections with
+     | first :: rest ->
+         {
+           first with
+           T.caption =
+             [
+               Printf.sprintf
+                 "graph: weighted gnp n=%d m=%d, aspect ratio U <= %d"
+                 (Graph.n g) (Graph.m g) (4 * n);
+             ];
+         }
+         :: rest
+     | [] -> [])
+    @ [ pram ])
 
 (* ------------------------------------------------------------------ *)
 (* T8 — native CONGEST protocols: real measured rounds                  *)
 (* ------------------------------------------------------------------ *)
 
 let table8 ~quick () =
-  header
-    "T8: native message-passing protocols on the enforcing simulator \
-     (REAL rounds, not accounting)";
   let sizes = if quick then [ 256; 1024 ] else [ 256; 1024; 4096 ] in
-  fmt "%-28s %6s %8s %10s %10s %12s\n" "protocol" "n" "rounds" "messages"
-    "max words" "notes";
-  hr ();
-  List.iter
-    (fun n ->
-      let rng = Rng.create 43 in
-      let g = Generators.connected_gnp ~rng ~n ~avg_degree:8.0 in
-      let gw =
-        Generators.randomize_weights ~rng:(Rng.create 2) ~lo:1 ~hi:1000 g
-      in
-      let bfs_res, s1 = Programs.bfs g ~root:0 in
-      fmt "%-28s %6d %8d %10d %10d %12s\n" "BFS tree" n s1.Network.rounds
-        s1.Network.messages s1.Network.max_words
-        (Printf.sprintf "depth %d" (Array.fold_left max 0 bfs_res.Programs.dist));
-      let _, s2 = Programs.broadcast_max g ~values:(Array.init n Fun.id) in
-      fmt "%-28s %6d %8d %10d %10d\n" "broadcast max" n s2.Network.rounds
-        s2.Network.messages s2.Network.max_words;
-      let _, s3 = Programs.maximal_matching g in
-      fmt "%-28s %6d %8d %10d %10d\n" "maximal matching" n s3.Network.rounds
-        s3.Network.messages s3.Network.max_words;
-      let _, s4 = Programs.luby_mis ~seed:5 g in
-      fmt "%-28s %6d %8d %10d %10d %12s\n" "Luby MIS" n s4.Network.rounds
-        s4.Network.messages s4.Network.max_words
-        (Printf.sprintf "%d phases" (s4.Network.rounds / 3));
-      let _, s5 = Programs.bellman_ford gw ~source:0 in
-      fmt "%-28s %6d %8d %10d %10d\n" "Bellman-Ford SSSP" n s5.Network.rounds
-        s5.Network.messages s5.Network.max_words;
-      let forest, s6 = Programs.spanning_forest g in
-      fmt "%-28s %6d %8d %10d %10d %12s\n" "spanning forest" n
-        s6.Network.rounds s6.Network.messages s6.Network.max_words
-        (Printf.sprintf "%d edges" (List.length forest));
-      List.iter
-        (fun k ->
-          let out = Bs_distributed.run ~seed:7 ~k gw in
-          fmt "%-28s %6d %8d %10d %10d %12s\n"
-            (Printf.sprintf "Baswana-Sen (k=%d)" k)
-            n out.Bs_distributed.network_stats.Network.rounds
-            out.Bs_distributed.network_stats.Network.messages
-            out.Bs_distributed.network_stats.Network.max_words
-            (Printf.sprintf "%d edges"
-               (Spanner.size out.Bs_distributed.spanner)))
-        [ 2; 4 ];
-      hr ())
-    sizes;
-  fmt
-    "shape check: BFS/broadcast ~ diameter; matching/MIS ~ log n; \
-     Baswana-Sen exactly 2k + 1 rounds\nwith 2-word messages — the O(k) \
-     CONGEST bound, executed rather than asserted.\n"
+  let cols =
+    [
+      T.col ~align:`L ~w:28 "protocol";
+      T.col ~w:6 "n";
+      T.col ~w:8 "rounds";
+      T.col ~w:10 "messages";
+      T.col ~w:10 ~title:"max words" "max_words";
+      T.col ~w:12 "notes";
+    ]
+  in
+  let sections =
+    List.map
+      (fun n ->
+        let rng = Rng.create 43 in
+        let g = Generators.connected_gnp ~rng ~n ~avg_degree:8.0 in
+        let gw =
+          Generators.randomize_weights ~rng:(Rng.create 2) ~lo:1 ~hi:1000 g
+        in
+        let ecc = Bfs.eccentricity g 0 in
+        (* broadcast-max converges relative to the holder of the maximum
+           value (node n-1 here), not the BFS root *)
+        let ecc_max = Bfs.eccentricity g (n - 1) in
+        let lgn = Float.log2 (fi n) in
+        let row ?(bounds = []) name (st : Network.stats) notes =
+          T.row ~bounds
+            [
+              ("protocol", T.Str name);
+              ("n", T.Int n);
+              ("rounds", T.Int st.Network.rounds);
+              ("messages", T.Int st.Network.messages);
+              ("max_words", T.Int st.Network.max_words);
+              ("notes", T.Str notes);
+            ]
+        in
+        let bfs_res, s1 = Programs.bfs g ~root:0 in
+        let _, s2 = Programs.broadcast_max g ~values:(Array.init n Fun.id) in
+        let _, s3 = Programs.maximal_matching g in
+        let _, s4 = Programs.luby_mis ~seed:5 g in
+        let _, s5 = Programs.bellman_ford gw ~source:0 in
+        let forest, s6 = Programs.spanning_forest g in
+        let bs_rows =
+          List.map
+            (fun k ->
+              let out = Bs_distributed.run ~seed:7 ~k gw in
+              let st = out.Bs_distributed.network_stats in
+              row
+                ~bounds:
+                  [
+                    T.le ~id:"rounds<=2k+3" ~descr:"the O(k) CONGEST bound"
+                      (fi st.Network.rounds)
+                      (fi ((2 * k) + 3));
+                    T.le ~id:"words<=2" ~descr:"2-word messages"
+                      (fi st.Network.max_words) 2.0;
+                  ]
+                (Printf.sprintf "Baswana-Sen (k=%d)" k)
+                st
+                (Printf.sprintf "%d edges"
+                   (Spanner.size out.Bs_distributed.spanner)))
+            [ 2; 4 ]
+        in
+        T.section ~cols
+          (Printf.sprintf "n%d" n)
+          ([
+             row
+               ~bounds:
+                 [ T.le ~id:"rounds<=ecc+2" (fi s1.Network.rounds) (fi (ecc + 2)) ]
+               "BFS tree" s1
+               (Printf.sprintf "depth %d"
+                  (Array.fold_left max 0 bfs_res.Programs.dist));
+             row
+               ~bounds:
+                 [
+                   T.le ~id:"rounds<=ecc(argmax)+2" (fi s2.Network.rounds)
+                     (fi (ecc_max + 2));
+                 ]
+               "broadcast max" s2 "";
+             row
+               ~bounds:
+                 [ T.le ~id:"rounds<=6lgn" (fi s3.Network.rounds) (6.0 *. lgn) ]
+               "maximal matching" s3 "";
+             row
+               ~bounds:
+                 [ T.le ~id:"rounds<=4lgn" (fi s4.Network.rounds) (4.0 *. lgn) ]
+               "Luby MIS" s4
+               (Printf.sprintf "%d phases" (s4.Network.rounds / 3));
+             row "Bellman-Ford SSSP" s5 "";
+             row
+               ~bounds:
+                 [ T.le ~id:"rounds<=ecc+3" (fi s6.Network.rounds) (fi (ecc + 3)) ]
+               "spanning forest" s6
+               (Printf.sprintf "%d edges" (List.length forest));
+           ]
+          @ bs_rows))
+      sizes
+  in
+  T.make ~id:"t8"
+    ~title:
+      "T8: native message-passing protocols on the enforcing simulator (REAL \
+       rounds, not accounting)"
+    ~params:[ ("quick", T.Bool quick) ]
+    ~notes:
+      [
+        "shape check: BFS/broadcast ~ diameter; matching/MIS ~ log n; \
+         Baswana-Sen exactly 2k + 1 rounds";
+        "with 2-word messages — the O(k) CONGEST bound, executed rather than \
+         asserted.";
+      ]
+    sections
 
 (* ------------------------------------------------------------------ *)
 (* T9 — scalability sweep                                               *)
 (* ------------------------------------------------------------------ *)
 
 let table9 ~quick () =
-  header
-    "T9: scalability — deterministic ultra-sparse spanner wall-clock as n \
-     grows";
   let sizes = if quick then [ 4096; 16384 ] else [ 4096; 16384; 65536 ] in
-  fmt "%8s %9s %9s %9s %9s %10s %12s %9s\n" "n" "m" "edges" "bound"
-    "stretch*" "rounds" "wall (s)" "edges/s";
-  hr ();
-  List.iter
-    (fun n ->
-      let rng = Rng.create 47 in
-      let g =
-        Generators.weighted_connected_gnp ~rng ~n ~avg_degree:8.0 ~max_w:100000
-      in
-      let t0 = Unix.gettimeofday () in
-      let out = Ultra_sparse.run ~t:4 g in
-      let dt = Unix.gettimeofday () -. t0 in
-      let sp = out.Ultra_sparse.spanner in
-      let s =
-        Stretch.sampled_edge_stretch ~rng:(Rng.create 1) ~samples:128 g
-          sp.Spanner.keep
-      in
-      fmt "%8d %9d %9d %9d %9s %10d %12.2f %9.0f\n" n (Graph.m g)
-        (Spanner.size sp)
-        (Ultra_sparse.bound ~n ~t:4)
-        (pretty_float s) (Spanner.total_rounds sp) dt
-        (float_of_int (Graph.m g) /. dt))
-    sizes;
-  fmt
-    "(*) stretch sampled over 128 source vertices at this scale.\n\
-     shape check: near-linear wall-clock in m; the n + n/4 bound holds at \
-     every scale.\n"
+  let cols =
+    [
+      T.col ~w:8 "n";
+      T.col ~w:9 "m";
+      T.col ~w:9 "edges";
+      T.col ~w:9 "bound";
+      T.col ~w:9 ~title:"stretch*" ~render:T.pretty "stretch";
+      T.col ~w:10 "rounds";
+      T.col ~w:12 ~title:"wall (s)" "wall";
+      T.col ~w:9 ~render:(fun v -> Printf.sprintf "%.0f" (T.to_float v))
+        "edges/s";
+    ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let rng = Rng.create 47 in
+        let g =
+          Generators.weighted_connected_gnp ~rng ~n ~avg_degree:8.0
+            ~max_w:100000
+        in
+        let t0 = Unix.gettimeofday () in
+        let out = Ultra_sparse.run ~t:4 g in
+        let dt = Unix.gettimeofday () -. t0 in
+        let sp = out.Ultra_sparse.spanner in
+        let s =
+          Stretch.sampled_edge_stretch ~rng:(Rng.create 1) ~samples:128 g
+            sp.Spanner.keep
+        in
+        let bound = Ultra_sparse.bound ~n ~t:4 in
+        T.row
+          ~bounds:
+            [
+              T.le ~id:"size<=n+n/4" ~descr:"the n + n/4 bound at every scale"
+                (fi (Spanner.size sp))
+                (fi bound);
+            ]
+          [
+            ("n", T.Int n);
+            ("m", T.Int (Graph.m g));
+            ("edges", T.Int (Spanner.size sp));
+            ("bound", T.Int bound);
+            ("stretch", T.Float s);
+            ("rounds", T.Int (Spanner.total_rounds sp));
+            ("wall", T.Time dt);
+            ("edges/s", T.Time (fi (Graph.m g) /. dt));
+          ])
+      sizes
+  in
+  T.make ~id:"t9"
+    ~title:
+      "T9: scalability — deterministic ultra-sparse spanner wall-clock as n \
+       grows"
+    ~params:[ ("quick", T.Bool quick) ]
+    ~notes:
+      [
+        "(*) stretch sampled over 128 source vertices at this scale.";
+        "shape check: near-linear wall-clock in m; the n + n/4 bound holds at \
+         every scale.";
+      ]
+    [ T.section ~rule:false ~cols "scaling" rows ]
 
 (* ------------------------------------------------------------------ *)
 (* R1 — resilience: certificates, spanners and protocols under faults  *)
 (* ------------------------------------------------------------------ *)
 
 let table_r1 ~quick () =
-  header
-    "R1: resilience — certificates under |F| <= k-1 edge failures, spanner \
-     stretch degradation,\nand native protocols on the fault-injecting \
-     simulator";
   (* --- certificates on an exactly k-edge-connected family --- *)
-  let n = if quick then 48 else 96 in
+  let cn = if quick then 48 else 96 in
   let budget = if quick then 400 else 1500 in
-  fmt
-    "certificates on Harary H_{k,%d} (lambda = k exactly): H - F must have \
-     the components of G - F\nfor every failure set |F| <= k-1 (the paper's \
-     guarantee, Appendix G).\n"
-    n;
-  fmt "%-12s %3s %9s %9s %12s %11s\n" "algorithm" "k" "edges" "trials" "mode"
-    "violations";
-  hr ();
-  List.iter
-    (fun k ->
-      let g = Generators.harary ~k ~n in
-      let row name (c : Certificate.t) =
-        let r = Resilience.check_certificate ~rng:(Rng.create 101) ~budget g c in
-        fmt "%-12s %3d %9d %9d %12s %11d%s\n" name k (Certificate.size c)
-          r.Resilience.trials
-          (if r.Resilience.exhaustive then "exhaustive" else "sampled")
-          r.Resilience.violations
-          (if r.Resilience.violations = 0 then "" else "  VIOLATION")
-      in
-      row "NI" (Nagamochi_ibaraki.certificate ~k g);
-      row "Thurimella" (Thurimella.certificate ~k g);
-      row "SpanPack"
-        (Spanner_packing.run ~k ~epsilon:0.5 g).Spanner_packing.certificate;
-      row "kECSS" (Kecss.approximate ~k g).Kecss.certificate;
-      hr ())
-    (if quick then [ 2; 3 ] else [ 2; 3; 4; 6 ]);
+  let ccols =
+    [
+      T.col ~align:`L ~w:12 "algorithm";
+      T.col ~w:3 "k";
+      T.col ~w:9 "edges";
+      T.col ~w:9 "trials";
+      T.col ~w:12 "mode";
+      T.col ~w:11 "violations";
+    ]
+  in
+  let cert_sections =
+    List.mapi
+      (fun i k ->
+        let g = Generators.harary ~k ~n:cn in
+        let row name (c : Certificate.t) =
+          let r =
+            Resilience.check_certificate ~rng:(Rng.create 101) ~budget g c
+          in
+          T.row
+            ~bounds:
+              [
+                T.flag ~id:"zero-violations"
+                  ~descr:"H - F has the components of G - F for |F| <= k-1"
+                  (r.Resilience.violations = 0);
+              ]
+            [
+              ("algorithm", T.Str name);
+              ("k", T.Int k);
+              ("edges", T.Int (Certificate.size c));
+              ("trials", T.Int r.Resilience.trials);
+              ( "mode",
+                T.Str (if r.Resilience.exhaustive then "exhaustive" else "sampled")
+              );
+              ("violations", T.Int r.Resilience.violations);
+            ]
+        in
+        let caption =
+          if i = 0 then
+            [
+              Printf.sprintf
+                "certificates on Harary H_{k,%d} (lambda = k exactly): H - F \
+                 must have the components of G - F"
+                cn;
+              "for every failure set |F| <= k-1 (the paper's guarantee, \
+               Appendix G).";
+            ]
+          else []
+        in
+        T.section ~caption ~cols:ccols
+          (Printf.sprintf "cert-k%d" k)
+          [
+            row "NI" (Nagamochi_ibaraki.certificate ~k g);
+            row "Thurimella" (Thurimella.certificate ~k g);
+            row "SpanPack"
+              (Spanner_packing.run ~k ~epsilon:0.5 g).Spanner_packing.certificate;
+            row "kECSS" (Kecss.approximate ~k g).Kecss.certificate;
+          ])
+      (if quick then [ 2; 3 ] else [ 2; 3; 4; 6 ])
+  in
   (* --- spanner stretch degradation --- *)
-  let n = if quick then 192 else 384 in
+  let sn = if quick then 192 else 384 in
   let trials = if quick then 12 else 24 in
-  let g = Generators.connected_gnp ~rng:(Rng.create 53) ~n ~avg_degree:6.0 in
-  fmt
-    "\nspanner stretch degradation (gnp n=%d, m=%d): exact stretch of H - F \
-     w.r.t. G - F over %d\nsampled deletion sets (spanners promise nothing \
-     under failures — this measures the damage).\n"
-    (Graph.n g) (Graph.m g) trials;
-  fmt "%-22s %4s %9s %9s %8s %13s\n" "spanner" "|F|" "baseline" "worst" "mean"
-    "disconnected";
-  hr ();
+  let g = Generators.connected_gnp ~rng:(Rng.create 53) ~n:sn ~avg_degree:6.0 in
+  let scols =
+    [
+      T.col ~align:`L ~w:22 "spanner";
+      T.col ~w:4 "|F|";
+      T.col ~w:9 ~render:T.pretty "baseline";
+      T.col ~w:9 ~render:T.pretty "worst";
+      T.col ~w:8 ~render:T.pretty "mean";
+      T.col ~w:13 "disconnected";
+    ]
+  in
   let spanners =
     [
-      ("BS07 k=3", (Baswana_sen.run ~rng:(Rng.create 3) ~k:3 g).Baswana_sen.spanner);
+      ( "BS07 k=3",
+        (Baswana_sen.run ~rng:(Rng.create 3) ~k:3 g).Baswana_sen.spanner );
       ("stretch-friendly t=4", (Ultra_sparse.run ~t:4 g).Ultra_sparse.spanner);
       ("full graph", Spanner.of_eids g (List.init (Graph.m g) Fun.id));
     ]
   in
-  List.iter
-    (fun (name, sp) ->
-      List.iter
-        (fun failures ->
-          let r =
-            Resilience.check_spanner ~rng:(Rng.create 7) ~trials ~failures g
-              sp.Spanner.keep
-          in
-          fmt "%-22s %4d %9s %9s %8s %8d/%d\n" name failures
-            (pretty_float r.Resilience.baseline)
-            (pretty_float r.Resilience.worst_stretch)
-            (pretty_float r.Resilience.mean_stretch)
-            r.Resilience.disconnected r.Resilience.span_trials)
-        [ 1; 3 ];
-      hr ())
-    spanners;
+  let span_sections =
+    List.mapi
+      (fun i (name, sp) ->
+        let rows =
+          List.map
+            (fun failures ->
+              let r =
+                Resilience.check_spanner ~rng:(Rng.create 7) ~trials ~failures
+                  g sp.Spanner.keep
+              in
+              let bounds =
+                if name = "full graph" then
+                  [
+                    T.flag ~id:"full-graph-exact"
+                      ~descr:"the full graph degrades to stretch 1.0 exactly"
+                      (r.Resilience.worst_stretch <= 1.0 +. 1e-9
+                      && r.Resilience.disconnected = 0);
+                  ]
+                else []
+              in
+              T.row ~bounds
+                [
+                  ("spanner", T.Str name);
+                  ("|F|", T.Int failures);
+                  ("baseline", T.Float r.Resilience.baseline);
+                  ("worst", T.Float r.Resilience.worst_stretch);
+                  ("mean", T.Float r.Resilience.mean_stretch);
+                  ( "disconnected",
+                    T.Str
+                      (Printf.sprintf "%d/%d" r.Resilience.disconnected
+                         r.Resilience.span_trials) );
+                ])
+            [ 1; 3 ]
+        in
+        let caption =
+          if i = 0 then
+            [
+              "";
+              Printf.sprintf
+                "spanner stretch degradation (gnp n=%d, m=%d): exact stretch \
+                 of H - F w.r.t. G - F over %d"
+                (Graph.n g) (Graph.m g) trials;
+              "sampled deletion sets (spanners promise nothing under failures \
+               — this measures the damage).";
+            ]
+          else []
+        in
+        T.section ~caption ~cols:scols (Printf.sprintf "span%d" i) rows)
+      spanners
+  in
   (* --- native protocols under injected faults --- *)
-  let n = if quick then 256 else 1024 in
-  let g = Generators.connected_gnp ~rng:(Rng.create 59) ~n ~avg_degree:8.0 in
-  fmt
-    "\nBFS flood under seeded fault schedules (gnp n=%d): reached = vertices \
-     with a BFS distance.\n"
-    n;
-  fmt "%-26s %9s %8s %10s %8s %9s %8s\n" "fault plan" "reached" "rounds"
-    "messages" "drops" "crashes" "severed";
-  hr ();
+  let bn = if quick then 256 else 1024 in
+  let g = Generators.connected_gnp ~rng:(Rng.create 59) ~n:bn ~avg_degree:8.0 in
   let plans =
     [
       ("no faults", Faults.empty);
       ("drop 10%", Faults.with_drops ~seed:71 0.10 Faults.empty);
       ("drop 30%", Faults.with_drops ~seed:71 0.30 Faults.empty);
       ( "8 crashes by round 3",
-        Faults.random_crashes ~rng:(Rng.create 73) ~n ~within:3 ~count:8
+        Faults.random_crashes ~rng:(Rng.create 73) ~n:bn ~within:3 ~count:8
           Faults.empty );
       ( "48 links cut + drop 5%",
         Faults.random_link_failures ~rng:(Rng.create 79) g ~within:4 ~count:48
           (Faults.with_drops ~seed:83 0.05 Faults.empty) );
     ]
   in
-  List.iter
-    (fun (name, plan) ->
-      let result, stats = Programs.bfs ~faults:(Faults.make plan) g ~root:0 in
-      let reached =
-        Array.fold_left (fun a d -> if d >= 0 then a + 1 else a) 0
-          result.Programs.dist
-      in
-      fmt "%-26s %5d/%-3d %8d %10d %8d %9d %8d\n" name reached n
-        stats.Network.rounds stats.Network.messages stats.Network.drops
-        stats.Network.crashed_nodes stats.Network.severed_links)
-    plans;
+  let fcols =
+    [
+      T.col ~align:`L ~w:26 ~title:"fault plan" "plan";
+      T.col ~w:9 "reached";
+      T.col ~w:8 "rounds";
+      T.col ~w:10 "messages";
+      T.col ~w:8 "drops";
+      T.col ~w:9 "crashes";
+      T.col ~w:8 "severed";
+    ]
+  in
+  let fault_rows =
+    List.map
+      (fun (name, plan) ->
+        let result, stats = Programs.bfs ~faults:(Faults.make plan) g ~root:0 in
+        let reached =
+          Array.fold_left
+            (fun a d -> if d >= 0 then a + 1 else a)
+            0 result.Programs.dist
+        in
+        let bounds =
+          if name = "no faults" then
+            [
+              T.flag ~id:"all-reached"
+                ~descr:"without faults the flood reaches every vertex"
+                (reached = bn);
+            ]
+          else []
+        in
+        T.row ~bounds
+          [
+            ("plan", T.Str name);
+            ("reached", T.Str (Printf.sprintf "%d/%d" reached bn));
+            ("reached_n", T.Int reached);
+            ("rounds", T.Int stats.Network.rounds);
+            ("messages", T.Int stats.Network.messages);
+            ("drops", T.Int stats.Network.drops);
+            ("crashes", T.Int stats.Network.crashed_nodes);
+            ("severed", T.Int stats.Network.severed_links);
+          ])
+      plans
+  in
   (* determinism: the same (seed, plan) replays bit-for-bit *)
   let replay plan =
     let f = Faults.make plan in
@@ -737,38 +1420,64 @@ let table_r1 ~quick () =
     (result, stats, Faults.events f)
   in
   let plan =
-    Faults.random_crashes ~rng:(Rng.create 73) ~n ~within:3 ~count:8
+    Faults.random_crashes ~rng:(Rng.create 73) ~n:bn ~within:3 ~count:8
       (Faults.with_drops ~seed:71 0.30 Faults.empty)
   in
-  fmt "\nreplay determinism (same seed + plan, fresh injector): %s\n"
-    (if replay plan = replay plan then "states, stats and event logs identical"
-     else "MISMATCH");
-  fmt
-    "shape check: zero certificate violations at every k (exhaustive where \
-     the set count fits);\nthe full graph degrades to stretch 1.0 exactly \
-     while sparse spanners stretch or disconnect;\nfault runs replay \
-     deterministically.\n"
+  let identical = replay plan = replay plan in
+  let replay_section =
+    T.section ~caption:[ "" ]
+      ~cols:[ T.col ~align:`L ~title:"" ~w:1 "replay" ]
+      ~rule:false "replay"
+      [
+        T.row
+          ~bounds:
+            [
+              T.flag ~id:"replay-deterministic"
+                ~descr:"the same (seed, plan) replays bit-for-bit" identical;
+            ]
+          [
+            ( "replay",
+              T.Str
+                (Printf.sprintf
+                   "replay determinism (same seed + plan, fresh injector): %s"
+                   (if identical then
+                      "states, stats and event logs identical"
+                    else "MISMATCH")) );
+          ];
+      ]
+  in
+  T.make ~id:"r1"
+    ~title:
+      "R1: resilience — certificates under |F| <= k-1 edge failures, spanner \
+       stretch degradation,\n\
+       and native protocols on the fault-injecting simulator"
+    ~params:[ ("quick", T.Bool quick) ]
+    ~notes:
+      [
+        "shape check: zero certificate violations at every k (exhaustive \
+         where the set count fits);";
+        "the full graph degrades to stretch 1.0 exactly while sparse \
+         spanners stretch or disconnect;";
+        "fault runs replay deterministically.";
+      ]
+    (cert_sections @ span_sections
+    @ [
+        T.section
+          ~caption:
+            [
+              "";
+              Printf.sprintf
+                "BFS flood under seeded fault schedules (gnp n=%d): reached = \
+                 vertices with a BFS distance."
+                bn;
+            ]
+          ~cols:fcols ~rule:false "faults" fault_rows;
+        replay_section;
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* O1 — observability: convergence traces on the real simulator         *)
 (* ------------------------------------------------------------------ *)
-
-let print_convergence tr =
-  let recs = Trace.rounds tr in
-  fmt "  %6s %9s %9s %8s %8s\n" "round" "active" "messages" "words" "halted";
-  let show r =
-    let x = recs.(r) in
-    fmt "  %6d %9d %9d %8d %8d\n" x.Trace.round x.Trace.active
-      x.Trace.delivered x.Trace.words x.Trace.halted
-  in
-  let nr = Array.length recs in
-  if nr <= 14 then
-    for r = 0 to nr - 1 do show r done
-  else begin
-    for r = 0 to 9 do show r done;
-    fmt "  %6s    (%d rounds elided)\n" "..." (nr - 13);
-    for r = nr - 3 to nr - 1 do show r done
-  end
 
 (* Min-id flooding on a (possibly disconnected) peeled subgraph settles in
    at most max over components of ecc(min vertex of the component) rounds,
@@ -781,17 +1490,38 @@ let forest_round_bound sub =
   Array.iter
     (fun mv ->
       if mv < max_int then
-        Array.iteri
-          (fun _ d -> if d > !b then b := d)
-          (Bfs.distances sub mv))
+        Array.iteri (fun _ d -> if d > !b then b := d) (Bfs.distances sub mv))
     minv;
   !b + 3
 
+let conv_section ?(bounds = []) ?(caption = []) sid tr =
+  let cols =
+    [
+      T.col ~w:6 "round";
+      T.col ~w:9 "active";
+      T.col ~w:9 "messages";
+      T.col ~w:8 "words";
+      T.col ~w:8 "halted";
+    ]
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i x ->
+           T.row
+             ~bounds:(if i = 0 then bounds else [])
+             [
+               ("round", T.Int x.Trace.round);
+               ("active", T.Int x.Trace.active);
+               ("messages", T.Int x.Trace.delivered);
+               ("words", T.Int x.Trace.words);
+               ("halted", T.Int x.Trace.halted);
+             ])
+         (Trace.rounds tr))
+  in
+  T.section ~caption ~elide:10 ~indent:2 ~rule:false ~cols sid rows
+
 let table_o1 ~quick () =
-  header
-    "O1: convergence traces — per-round messages / active nodes from the \
-     Trace sink,\nchecked against the round bounds (BFS ~ ecc, distributed \
-     BS ~ 2k+O(1), forest peeling ~ ecc)";
   let n = if quick then 256 else 1024 in
   let profile = Profile.create () in
   let g = Generators.connected_gnp ~rng:(Rng.create 61) ~n ~avg_degree:8.0 in
@@ -802,11 +1532,26 @@ let table_o1 ~quick () =
   let _, s =
     Profile.time profile "bfs" (fun () -> Programs.bfs ~trace:trb g ~root:0)
   in
-  fmt "\nBFS flood (gnp n=%d, ecc(root)=%d): %d rounds, %d messages — bound \
-       ecc+2: %s\n"
-    n ecc s.Network.rounds s.Network.messages
-    (if s.Network.rounds <= ecc + 2 then "OK" else "VIOLATION");
-  print_convergence trb;
+  let bfs_ok = s.Network.rounds <= ecc + 2 in
+  let bfs_section =
+    conv_section
+      ~bounds:
+        [
+          T.le ~id:"bfs-rounds<=ecc+2" ~descr:"BFS settles within ecc+2 rounds"
+            (fi s.Network.rounds)
+            (fi (ecc + 2));
+        ]
+      ~caption:
+        [
+          "";
+          Printf.sprintf
+            "BFS flood (gnp n=%d, ecc(root)=%d): %d rounds, %d messages — \
+             bound ecc+2: %s"
+            n ecc s.Network.rounds s.Network.messages
+            (if bfs_ok then "OK" else "VIOLATION");
+        ]
+      "bfs-conv" trb
+  in
   (* distributed Baswana-Sen *)
   let k = 3 in
   let trs = Trace.create gw in
@@ -815,20 +1560,42 @@ let table_o1 ~quick () =
         Bs_distributed.run ~trace:trs ~seed:7 ~k gw)
   in
   let sb = out.Bs_distributed.network_stats in
-  fmt "\ndistributed Baswana-Sen (k=%d, weighted): %d rounds, %d messages — \
-       bound 2k+3 = %d: %s\n"
-    k sb.Network.rounds sb.Network.messages ((2 * k) + 3)
-    (if sb.Network.rounds <= (2 * k) + 3 then "OK" else "VIOLATION");
-  print_convergence trs;
+  let bs_ok = sb.Network.rounds <= (2 * k) + 3 in
+  let bs_section =
+    conv_section
+      ~bounds:
+        [
+          T.le ~id:"bs-rounds<=2k+3" ~descr:"distributed BS stays O(k)"
+            (fi sb.Network.rounds)
+            (fi ((2 * k) + 3));
+        ]
+      ~caption:
+        [
+          "";
+          Printf.sprintf
+            "distributed Baswana-Sen (k=%d, weighted): %d rounds, %d messages \
+             — bound 2k+3 = %d: %s"
+            k sb.Network.rounds sb.Network.messages
+            ((2 * k) + 3)
+            (if bs_ok then "OK" else "VIOLATION");
+        ]
+      "bs-conv" trs
+  in
   (* Thurimella certificate substrate: k spanning-forest peels *)
   let kf = 3 in
-  fmt "\nThurimella substrate (k=%d): min-id forest peeling; each forest \
-       settles within the\ncomponent-eccentricity bound of its remaining \
-       subgraph.\n"
-    kf;
-  fmt "  %6s %9s %9s %9s %9s\n" "forest" "edges" "rounds" "bound" "messages";
+  let fcols =
+    [
+      T.col ~w:6 "forest";
+      T.col ~w:9 "edges";
+      T.col ~w:9 "rounds";
+      T.col ~w:9 "bound";
+      T.col ~w:9 "messages";
+      T.col ~align:`L ~title:"" ~w:2 "ok";
+    ]
+  in
   let removed = Array.make (Graph.m g) false in
   let first_trace = ref None in
+  let forest_rows = ref [] in
   (try
      for i = 1 to kf do
        let keep = Array.map not removed in
@@ -840,27 +1607,134 @@ let table_o1 ~quick () =
        in
        if !first_trace = None then first_trace := Some tr;
        let bound = forest_round_bound sub in
-       fmt "  %6d %9d %9d %9d %9d %s\n" i (List.length eids) sf.Network.rounds
-         bound sf.Network.messages
-         (if sf.Network.rounds <= bound then "OK" else "VIOLATION");
+       let okr = sf.Network.rounds <= bound in
+       forest_rows :=
+         T.row
+           ~bounds:
+             [
+               T.le ~id:"forest-rounds<=ecc+3"
+                 ~descr:"each peel settles within its component eccentricity"
+                 (fi sf.Network.rounds) (fi bound);
+             ]
+           [
+             ("forest", T.Int i);
+             ("edges", T.Int (List.length eids));
+             ("rounds", T.Int sf.Network.rounds);
+             ("bound", T.Int bound);
+             ("messages", T.Int sf.Network.messages);
+             ("ok", T.Str (if okr then "OK" else "VIOLATION"));
+           ]
+         :: !forest_rows;
        List.iter (fun eid -> removed.(mapping.(eid)) <- true) eids;
        if eids = [] then raise Exit
      done
    with Exit -> ());
-  (match !first_trace with
-  | Some tr ->
-      fmt "first forest convergence:\n";
-      print_convergence tr
-  | None -> ());
-  (* congestion digest + wall-clock ledger *)
-  fmt "\nBFS congestion digest (Stats percentiles, top edges):\n";
-  Format.printf "%a@?" (Trace.pp_summary ~top:5) trb;
-  fmt "\nwall-clock phases:\n";
-  Format.printf "%a@." Profile.pp profile;
-  fmt
-    "\nshape check: every traced protocol meets its round bound; per-round \
-     message sums match\nNetwork.stats (enforced by the test-suite); traces \
-     export via `ultraspan trace`.\n"
+  let forest_section =
+    T.section
+      ~caption:
+        [
+          "";
+          Printf.sprintf
+            "Thurimella substrate (k=%d): min-id forest peeling; each forest \
+             settles within the"
+            kf;
+          "component-eccentricity bound of its remaining subgraph.";
+        ]
+      ~indent:2 ~rule:false ~cols:fcols "forests" (List.rev !forest_rows)
+  in
+  let first_conv =
+    match !first_trace with
+    | Some tr ->
+        [
+          conv_section ~caption:[ "first forest convergence:" ] "forest-conv"
+            tr;
+        ]
+    | None -> []
+  in
+  (* congestion digest: deterministic percentiles from the Trace sink *)
+  let digest_lines =
+    let raw =
+      String.split_on_char '\n'
+        (Format.asprintf "%a" (Trace.pp_summary ~top:5) trb)
+    in
+    let rec drop_trailing = function
+      | "" :: rest -> drop_trailing rest
+      | l -> l
+    in
+    List.rev (drop_trailing (List.rev raw))
+  in
+  let digest_section =
+    T.section
+      ~caption:
+        (("" :: "BFS congestion digest (Stats percentiles, top edges):" :: digest_lines))
+      ~rule:false ~cols:[] "digest" []
+  in
+  (* wall-clock ledger: Time-typed rows so diffs band them *)
+  let prof_cols =
+    [
+      T.col ~align:`L ~w:32 "phase";
+      T.col ~w:8 ~render:(fun v -> Printf.sprintf "%.3f" (T.to_float v))
+        "seconds";
+      T.col ~w:6 "calls";
+    ]
+  in
+  let prof_rows =
+    T.row
+      [ ("phase", T.Str "total"); ("seconds", T.Time (Profile.total profile)) ]
+    :: List.map
+         (fun (name, secs, calls) ->
+           T.row
+             [
+               ("phase", T.Str name);
+               ("seconds", T.Time secs);
+               ("calls", T.Int calls);
+             ])
+         (Profile.phases profile)
+  in
+  let prof_section =
+    T.section
+      ~caption:[ ""; "wall-clock phases:" ]
+      ~rule:false ~cols:prof_cols "profile" prof_rows
+  in
+  T.make ~id:"o1"
+    ~title:
+      "O1: convergence traces — per-round messages / active nodes from the \
+       Trace sink,\n\
+       checked against the round bounds (BFS ~ ecc, distributed BS ~ 2k+O(1), \
+       forest peeling ~ ecc)"
+    ~params:[ ("quick", T.Bool quick); ("n", T.Int n) ]
+    ~notes:
+      [
+        "";
+        "shape check: every traced protocol meets its round bound; per-round \
+         message sums match";
+        "Network.stats (enforced by the test-suite); traces export via \
+         `ultraspan trace`.";
+      ]
+    ([ bfs_section; bs_section; forest_section ]
+    @ first_conv
+    @ [ digest_section; prof_section ])
+
+(* ------------------------------------------------------------------ *)
+(* XFAIL — hidden negative control for CI (--table xfail --strict       *)
+(* must exit 1; never part of the default selection)                    *)
+(* ------------------------------------------------------------------ *)
+
+let xfail ~quick () =
+  T.make ~id:"xfail"
+    ~title:"XFAIL: deliberately violated bound (CI negative control)"
+    ~params:[ ("quick", T.Bool quick) ]
+    ~notes:[ "this table exists so CI can prove --strict catches violations." ]
+    [
+      T.section
+        ~cols:[ T.col ~w:8 "two" ]
+        "x"
+        [
+          T.row
+            ~bounds:[ T.le ~id:"two<=one" ~descr:"intentionally false" 2.0 1.0 ]
+            [ ("two", T.Int 2) ];
+        ];
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite: one Test per table                        *)
@@ -905,7 +1779,9 @@ let bechamel_suite () =
       (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
       Toolkit.Instance.monotonic_clock raw
   in
-  header "Bechamel wall-clock suite (monotonic clock per run)";
+  fmt "\n%s\n" (String.make 100 '=');
+  fmt "Bechamel wall-clock suite (monotonic clock per run)\n";
+  fmt "%s\n" (String.make 100 '=');
   let rows =
     Hashtbl.fold
       (fun name ols acc ->
@@ -917,36 +1793,126 @@ let bechamel_suite () =
         (name, est) :: acc)
       analysis []
   in
-  List.iter (fun (name, est) -> fmt "%-40s %s\n" name est)
-    (List.sort compare rows)
+  List.iter (fun (name, est) -> fmt "%-40s %s\n" name est) (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_tables =
+  [
+    ("t1", table1); ("t2", table2); ("t3", table3); ("t4", table4);
+    ("f1", fig1); ("t5", table5); ("t6", table6); ("t7", table7);
+    ("t8", table8); ("t9", table9); ("r1", table_r1);
+    ("a1", ablation_derand); ("a2", ablation_merge); ("o1", table_o1);
+  ]
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--all] [--table ID]... [--strict]\n\
+    \                [--artifacts DIR] [--against DIR] [--tolerance PCT]\n\
+    \                [--refresh-goldens] [--bechamel]\n\
+     tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 (and xfail, the \
+     negative control)"
+
+let die fmtstr =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("main.exe: " ^ s);
+      usage ();
+      exit 2)
+    fmtstr
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let quick = List.mem "--quick" args in
-  let bech = List.mem "--bechamel" args in
-  let rec selected = function
-    | "--table" :: id :: _ -> Some id
-    | _ :: rest -> selected rest
-    | [] -> None
+  let quick = ref false
+  and strict_mode = ref false
+  and bech = ref false
+  and all_flag = ref false
+  and refresh = ref false
+  and artifacts_dir = ref "artifacts"
+  and against = ref None
+  and tolerance = ref 75.0
+  and tables = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: r -> quick := true; parse r
+    | "--all" :: r -> all_flag := true; parse r
+    | "--strict" :: r -> strict_mode := true; parse r
+    | "--bechamel" :: r -> bech := true; parse r
+    | "--refresh-goldens" :: r -> refresh := true; parse r
+    | "--table" :: id :: r -> tables := !tables @ [ id ]; parse r
+    | "--artifacts" :: d :: r -> artifacts_dir := d; parse r
+    | "--against" :: d :: r -> against := Some d; parse r
+    | "--tolerance" :: p :: r ->
+        (match float_of_string_opt p with
+        | Some v when v >= 0.0 -> tolerance := v
+        | _ -> die "--tolerance expects a non-negative percentage, got %S" p);
+        parse r
+    | [ (("--table" | "--artifacts" | "--against" | "--tolerance") as f) ] ->
+        die "%s needs an argument" f
+    | a :: _ -> die "unknown argument %S" a
   in
-  let all =
-    [
-      ("t1", table1); ("t2", table2); ("t3", table3); ("t4", table4);
-      ("f1", fig1); ("t5", table5); ("t6", table6); ("t7", table7);
-      ("t8", table8); ("t9", table9); ("r1", table_r1);
-      ("a1", ablation_derand); ("a2", ablation_merge); ("o1", table_o1);
-    ]
-  in
-  if bech then bechamel_suite ()
+  parse (List.tl (Array.to_list Sys.argv));
+  if !bech then bechamel_suite ()
   else begin
-    match selected args with
-    | Some id -> (
-        match List.assoc_opt id all with
-        | Some f -> f ~quick ()
-        | None ->
-            prerr_endline ("unknown table " ^ id);
-            exit 1)
-    | None -> List.iter (fun (_, f) -> f ~quick ()) all
+    let registry = all_tables @ [ ("xfail", xfail) ] in
+    let sel =
+      if !all_flag || !tables = [] then List.map fst all_tables
+      else
+        List.map
+          (fun id ->
+            if List.mem_assoc id registry then id else die "unknown table %S" id)
+          !tables
+    in
+    let viols = ref 0
+    and checked = ref 0
+    and diffs = ref 0
+    and missing = ref 0
+    and written = ref 0 in
+    List.iter
+      (fun id ->
+        let build = List.assoc id registry in
+        let t = build ~quick:!quick () in
+        T.print t;
+        checked := !checked + T.bounds_checked t;
+        List.iter
+          (fun (sid, label, (b : T.bound)) ->
+            incr viols;
+            Printf.eprintf
+              "BOUND VIOLATION %s/%s [%s] %s: observed %g, limit %g%s\n"
+              t.T.id sid label b.T.bid b.T.observed b.T.limit
+              (if b.T.descr = "" then "" else " — " ^ b.T.descr))
+          (T.violations t);
+        match !against with
+        | Some dir when !refresh -> written := !written + 1; ignore (T.save ~dir t)
+        | Some dir ->
+            let path = T.artifact_path ~dir t in
+            if not (Sys.file_exists path) then begin
+              incr missing;
+              Printf.eprintf "MISSING GOLDEN %s\n" path
+            end
+            else begin
+              let golden = T.load path in
+              let ds =
+                T.diff ~time_tolerance:(!tolerance /. 100.0) ~golden t
+              in
+              List.iter
+                (fun d ->
+                  incr diffs;
+                  Printf.eprintf "DIFF %s\n" d)
+                ds
+            end
+        | None -> written := !written + 1; ignore (T.save ~dir:!artifacts_dir t))
+      sel;
+    fmt "\n[%d bound(s) checked, %d violated]\n" !checked !viols;
+    (match !against with
+    | Some dir when !refresh ->
+        fmt "[refreshed %d golden artifact(s) in %s]\n" !written dir
+    | Some dir ->
+        fmt "[against %s: %d diff(s), %d missing artifact(s)]\n" dir !diffs
+          !missing
+    | None -> fmt "[wrote %d artifact(s) to %s]\n" !written !artifacts_dir);
+    let fail_strict = !strict_mode && !viols > 0 in
+    let fail_diff = !diffs > 0 || !missing > 0 in
+    if fail_strict || fail_diff then exit 1
   end

@@ -6,14 +6,22 @@
    - whole-protocol rounds-per-second (BFS, distributed Baswana-Sen,
      spanning forest — the Thurimella substrate) at several n.
 
-   Results are written as JSON (default [BENCH_congest.json]) so future
-   PRs can diff against the recorded baseline.
+   Results are written as JSON (schema ultraspan-perf/1, default
+   [BENCH_congest.json]) so future PRs can diff against the recorded
+   baseline.
 
    Usage:
-     perf [--quick] [-o FILE]   run the suite, write FILE
-     perf --validate FILE       check FILE parses and each suite ran *)
+     perf [--quick] [-o FILE]        run the suite, write FILE
+     perf --validate FILE            check FILE parses and each suite ran
+     perf [--quick] --against FILE [--tolerance PCT] [--suites]
+        rerun the suite and gate on the recorded baseline: the fast-vs-ref
+        message-plane speedup must stay within PCT percent of the baseline
+        (default 40; the ratio is machine-robust, unlike wall-clock).
+        [--suites] additionally gates each suite's ns/run — opt-in because
+        absolute wall-clock does not transfer across CI machines. *)
 
 open Ultraspan
+module J = Exp_json
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                           *)
@@ -137,235 +145,238 @@ let protocol_rows ~quick =
       ])
     (protocol_sizes ~quick)
 
-(* ------------------------------------------------------------------ *)
-(* JSON output                                                         *)
-(* ------------------------------------------------------------------ *)
+let run_suite ~quick =
+  Printf.printf "perf: message plane (n=%d, %d flood rounds, both engines)...\n%!"
+    mp_n flood_rounds;
+  let mp = message_plane_rows ~quick in
+  Printf.printf "perf: protocols at n in {%s}...\n%!"
+    (String.concat ", " (List.map string_of_int (protocol_sizes ~quick)));
+  mp @ protocol_rows ~quick
 
-let json_of_row b r =
-  Buffer.add_string b
-    (Printf.sprintf
-       "    { \"name\": %S, \"kind\": %S, \"n\": %d, \"runs\": %d,\n\
-       \      \"ns_per_run\": %.1f, \"messages_per_run\": %d, \
-        \"rounds_per_run\": %d,\n\
-       \      \"messages_per_sec\": %.1f, \"rounds_per_sec\": %.1f }"
-       r.name r.kind r.n r.runs r.ns_per_run r.messages_per_run
-       r.rounds_per_run (messages_per_sec r) (rounds_per_sec r))
-
-let write_json ~quick ~file rows =
+let speedup_of rows =
   let fast = List.find (fun r -> r.name = "mp:fast") rows in
   let ref_ = List.find (fun r -> r.name = "mp:ref") rows in
-  let speedup = messages_per_sec fast /. messages_per_sec ref_ in
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"ultraspan-perf/1\",\n";
-  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
-  Buffer.add_string b
-    (Printf.sprintf
-       "  \"workload\": { \"mp_n\": %d, \"mp_avg_degree\": %.1f, \
-        \"mp_flood_rounds\": %d },\n"
-       mp_n mp_avg_degree flood_rounds);
-  Buffer.add_string b "  \"suites\": [\n";
-  List.iteri
-    (fun i r ->
-      if i > 0 then Buffer.add_string b ",\n";
-      json_of_row b r)
-    rows;
-  Buffer.add_string b "\n  ],\n";
-  Buffer.add_string b
-    (Printf.sprintf
-       "  \"message_plane\": { \"n\": %d, \"fast_messages_per_sec\": %.1f, \
-        \"ref_messages_per_sec\": %.1f, \"speedup\": %.2f }\n"
-       mp_n (messages_per_sec fast) (messages_per_sec ref_) speedup);
-  Buffer.add_string b "}\n";
-  let oc = open_out file in
-  output_string oc (Buffer.contents b);
-  close_out oc;
-  speedup
+  messages_per_sec fast /. messages_per_sec ref_
+
+let print_rows rows =
+  Printf.printf "%-26s %6s %8s %14s %14s %14s\n" "suite" "n" "runs" "ns/run"
+    "msgs/s" "rounds/s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-26s %6d %8d %14.0f %14.0f %14.1f\n" r.name r.n r.runs
+        r.ns_per_run (messages_per_sec r) (rounds_per_sec r))
+    rows
 
 (* ------------------------------------------------------------------ *)
-(* JSON validation (minimal parser — no JSON library in the image)     *)
+(* JSON output (shared Exp_json encoder — schema ultraspan-perf/1)     *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
+let schema = "ultraspan-perf/1"
 
-exception Bad_json of string
+(* A failed OLS estimate is NaN; encode it as 0.0 so the file stays valid
+   JSON and --validate rejects it with a clear message. *)
+let fin f = if Float.is_finite f then f else 0.0
 
-let parse_json s =
-  let pos = ref 0 in
-  let len = String.length s in
-  let peek () = if !pos < len then Some s.[!pos] else None in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let skip_ws () =
-    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      incr pos
-    done
-  in
-  let expect c =
-    if peek () = Some c then incr pos
-    else fail (Printf.sprintf "expected %c" c)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= len then fail "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> incr pos
-        | '\\' ->
-            if !pos + 1 >= len then fail "bad escape";
-            Buffer.add_char b s.[!pos + 1];
-            pos := !pos + 2;
-            go ()
-        | c ->
-            Buffer.add_char b c;
-            incr pos;
-            go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Str (parse_string ())
-    | Some '{' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some '}' then (incr pos; Obj [])
-        else begin
-          let fields = ref [] in
-          let rec fields_loop () =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' -> incr pos; fields_loop ()
-            | Some '}' -> incr pos
-            | _ -> fail "expected , or }"
-          in
-          fields_loop ();
-          Obj (List.rev !fields)
-        end
-    | Some '[' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some ']' then (incr pos; Arr [])
-        else begin
-          let items = ref [] in
-          let rec items_loop () =
-            let v = parse_value () in
-            items := v :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' -> incr pos; items_loop ()
-            | Some ']' -> incr pos
-            | _ -> fail "expected , or ]"
-          in
-          items_loop ();
-          Arr (List.rev !items)
-        end
-    | Some 't' -> pos := !pos + 4; Bool true
-    | Some 'f' -> pos := !pos + 5; Bool false
-    | Some 'n' -> pos := !pos + 4; Null
-    | Some _ ->
-        let start = !pos in
-        while
-          !pos < len
-          && (match s.[!pos] with
-             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-             | _ -> false)
-        do
-          incr pos
-        done;
-        if !pos = start then fail "unexpected character";
-        Num (float_of_string (String.sub s start (!pos - start)))
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing garbage";
-  v
+let json_of_row r =
+  J.Obj
+    [
+      ("name", J.Str r.name);
+      ("kind", J.Str r.kind);
+      ("n", J.Int r.n);
+      ("runs", J.Int r.runs);
+      ("ns_per_run", J.Float (fin r.ns_per_run));
+      ("messages_per_run", J.Int r.messages_per_run);
+      ("rounds_per_run", J.Int r.rounds_per_run);
+      ("messages_per_sec", J.Float (fin (messages_per_sec r)));
+      ("rounds_per_sec", J.Float (fin (rounds_per_sec r)));
+    ]
 
-let field name = function
-  | Obj fields -> (
-      match List.assoc_opt name fields with
-      | Some v -> v
-      | None -> raise (Bad_json ("missing field " ^ name)))
-  | _ -> raise (Bad_json ("not an object looking for " ^ name))
+let json_of_run ~quick rows =
+  let fast = List.find (fun r -> r.name = "mp:fast") rows in
+  let ref_ = List.find (fun r -> r.name = "mp:ref") rows in
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("quick", J.Bool quick);
+      ( "workload",
+        J.Obj
+          [
+            ("mp_n", J.Int mp_n);
+            ("mp_avg_degree", J.Float mp_avg_degree);
+            ("mp_flood_rounds", J.Int flood_rounds);
+          ] );
+      ("suites", J.Arr (List.map json_of_row rows));
+      ( "message_plane",
+        J.Obj
+          [
+            ("n", J.Int mp_n);
+            ("fast_messages_per_sec", J.Float (fin (messages_per_sec fast)));
+            ("ref_messages_per_sec", J.Float (fin (messages_per_sec ref_)));
+            ("speedup", J.Float (fin (speedup_of rows)));
+          ] );
+    ]
 
-let num = function Num f -> f | _ -> raise (Bad_json "expected number")
-let str = function Str s -> s | _ -> raise (Bad_json "expected string")
-let arr = function Arr l -> l | _ -> raise (Bad_json "expected array")
+let write_json ~quick ~file rows =
+  J.save file (json_of_run ~quick rows);
+  speedup_of rows
+
+(* ------------------------------------------------------------------ *)
+(* validation and baseline gating                                      *)
+(* ------------------------------------------------------------------ *)
+
+let load_baseline file =
+  let j = J.load file in
+  let s = J.str (J.field "schema" j) in
+  if s <> schema then raise (J.Error ("unknown schema " ^ s));
+  j
 
 let validate file =
-  let ic = open_in_bin file in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  let j = parse_json s in
-  let schema = str (field "schema" j) in
-  if schema <> "ultraspan-perf/1" then
-    raise (Bad_json ("unknown schema " ^ schema));
-  let suites = arr (field "suites" j) in
-  if suites = [] then raise (Bad_json "no suites");
+  let j = load_baseline file in
+  let suites = J.arr (J.field "suites" j) in
+  if suites = [] then raise (J.Error "no suites");
   List.iter
     (fun suite ->
-      let name = str (field "name" suite) in
-      let runs = int_of_float (num (field "runs" suite)) in
-      if runs <= 0 then raise (Bad_json (name ^ ": 0 runs"));
-      let ns = num (field "ns_per_run" suite) in
+      let name = J.str (J.field "name" suite) in
+      let runs = J.int (J.field "runs" suite) in
+      if runs <= 0 then raise (J.Error (name ^ ": 0 runs"));
+      let ns = J.num (J.field "ns_per_run" suite) in
       if not (Float.is_finite ns && ns > 0.0) then
-        raise (Bad_json (name ^ ": bad ns_per_run")))
+        raise (J.Error (name ^ ": bad ns_per_run")))
     suites;
-  let mp = field "message_plane" j in
-  let speedup = num (field "speedup" mp) in
+  let mp = J.field "message_plane" j in
+  let speedup = J.num (J.field "speedup" mp) in
   if not (Float.is_finite speedup && speedup > 0.0) then
-    raise (Bad_json "bad message_plane.speedup");
+    raise (J.Error "bad message_plane.speedup");
   Printf.printf "%s: OK (%d suites, all ran; message-plane speedup %.2fx)\n"
     file (List.length suites) speedup
 
+(* Gate a fresh run against a recorded baseline.  The default check is the
+   fast-vs-ref speedup RATIO: wall-clock shifts with the machine, but the
+   two engines shift together, so the ratio is what a regression in the
+   fast message plane actually moves.  [--suites] adds per-suite ns/run
+   checks for same-machine use. *)
+let against ~quick ~tolerance ~suites_gate ~baseline_file rows =
+  let j = load_baseline baseline_file in
+  let tol = tolerance /. 100.0 in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr failures;
+        Printf.eprintf "PERF REGRESSION %s\n" s)
+      fmt
+  in
+  let base_speedup = J.num (J.field "speedup" (J.field "message_plane" j)) in
+  let cur_speedup = speedup_of rows in
+  let floor = base_speedup *. (1.0 -. tol) in
+  Printf.printf
+    "message-plane speedup: %.2fx now vs %.2fx baseline (floor %.2fx at \
+     tolerance %.0f%%)\n"
+    cur_speedup base_speedup floor tolerance;
+  if not (Float.is_finite cur_speedup) || cur_speedup < floor then
+    fail "message-plane speedup %.2fx below floor %.2fx (baseline %.2fx)"
+      cur_speedup floor base_speedup;
+  if suites_gate then begin
+    let base_quick =
+      match J.field_opt "quick" j with Some b -> J.bool b | None -> false
+    in
+    if base_quick <> quick then
+      Printf.printf
+        "note: baseline quick=%b but this run quick=%b — per-suite ns/run \
+         estimates use different sample budgets\n"
+        base_quick quick;
+    let baseline_ns =
+      List.map
+        (fun s -> (J.str (J.field "name" s), J.num (J.field "ns_per_run" s)))
+        (J.arr (J.field "suites" j))
+    in
+    List.iter
+      (fun r ->
+        match List.assoc_opt r.name baseline_ns with
+        | None -> Printf.printf "suite %s: not in baseline, skipped\n" r.name
+        | Some base_ns ->
+            let ceiling = base_ns *. (1.0 +. tol) in
+            if r.ns_per_run > ceiling then
+              fail "suite %s: %.0f ns/run above ceiling %.0f (baseline %.0f)"
+                r.name r.ns_per_run ceiling base_ns
+            else
+              Printf.printf "suite %s: %.0f ns/run vs baseline %.0f — ok\n"
+                r.name r.ns_per_run base_ns)
+      rows
+  end;
+  !failures
+
 (* ------------------------------------------------------------------ *)
 
+let usage () =
+  prerr_endline
+    "usage: perf.exe [--quick] [-o FILE]\n\
+    \       perf.exe --validate FILE\n\
+    \       perf.exe [--quick] --against FILE [--tolerance PCT] [--suites]"
+
+let die fmtstr =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("perf.exe: " ^ s);
+      usage ();
+      exit 2)
+    fmtstr
+
 let () =
-  let args = Array.to_list Sys.argv in
-  let quick = List.mem "--quick" args in
-  let rec opt flag = function
-    | f :: v :: _ when f = flag -> Some v
-    | _ :: rest -> opt flag rest
-    | [] -> None
+  let quick = ref false
+  and out = ref None
+  and validate_file = ref None
+  and against_file = ref None
+  and tolerance = ref 40.0
+  and suites_gate = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: r -> quick := true; parse r
+    | "--suites" :: r -> suites_gate := true; parse r
+    | "-o" :: f :: r -> out := Some f; parse r
+    | "--validate" :: f :: r -> validate_file := Some f; parse r
+    | "--against" :: f :: r -> against_file := Some f; parse r
+    | "--tolerance" :: p :: r ->
+        (match float_of_string_opt p with
+        | Some v when v >= 0.0 -> tolerance := v
+        | _ -> die "--tolerance expects a non-negative percentage, got %S" p);
+        parse r
+    | [ (("-o" | "--validate" | "--against" | "--tolerance") as f) ] ->
+        die "%s needs an argument" f
+    | a :: _ -> die "unknown argument %S" a
   in
-  match opt "--validate" args with
-  | Some file -> (
+  parse (List.tl (Array.to_list Sys.argv));
+  match (!validate_file, !against_file) with
+  | Some _, Some _ -> die "--validate and --against are mutually exclusive"
+  | Some file, None -> (
       try validate file
-      with Bad_json msg | Sys_error msg ->
+      with J.Error msg | Sys_error msg ->
         Printf.eprintf "%s: INVALID (%s)\n" file msg;
         exit 1)
-  | None ->
-      let file = Option.value (opt "-o" args) ~default:"BENCH_congest.json" in
-      Printf.printf "perf: message plane (n=%d, %d flood rounds, both engines)...\n%!"
-        mp_n flood_rounds;
-      let mp = message_plane_rows ~quick in
-      Printf.printf "perf: protocols at n in {%s}...\n%!"
-        (String.concat ", " (List.map string_of_int (protocol_sizes ~quick)));
-      let rows = mp @ protocol_rows ~quick in
-      let speedup = write_json ~quick ~file rows in
-      Printf.printf "%-26s %6s %8s %14s %14s %14s\n" "suite" "n" "runs"
-        "ns/run" "msgs/s" "rounds/s";
-      List.iter
-        (fun r ->
-          Printf.printf "%-26s %6d %8d %14.0f %14.0f %14.1f\n" r.name r.n
-            r.runs r.ns_per_run (messages_per_sec r) (rounds_per_sec r))
-        rows;
+  | None, Some baseline_file ->
+      let rows = run_suite ~quick:!quick in
+      print_rows rows;
+      (match !out with
+      | Some file -> ignore (write_json ~quick:!quick ~file rows)
+      | None -> ());
+      let failures =
+        try
+          against ~quick:!quick ~tolerance:!tolerance
+            ~suites_gate:!suites_gate ~baseline_file rows
+        with J.Error msg | Sys_error msg ->
+          Printf.eprintf "%s: INVALID baseline (%s)\n" baseline_file msg;
+          exit 1
+      in
+      if failures > 0 then begin
+        Printf.eprintf "perf gate: %d regression(s) vs %s\n" failures
+          baseline_file;
+        exit 1
+      end;
+      Printf.printf "perf gate: OK vs %s\n" baseline_file
+  | None, None ->
+      let file = Option.value !out ~default:"BENCH_congest.json" in
+      let rows = run_suite ~quick:!quick in
+      let speedup = write_json ~quick:!quick ~file rows in
+      print_rows rows;
       Printf.printf "message-plane speedup (fast vs ref): %.2fx\n" speedup;
       Printf.printf "wrote %s\n" file

@@ -1,24 +1,62 @@
 #!/bin/sh
-# CI / pre-commit gate: full build (libs, executables, docs) + test suite,
-# plus a smoke test of the trace exporters and the O1 observability table.
-# Usage: bin/check.sh  (from anywhere inside the repo)
-set -e
-cd "$(dirname "$0")/.."
+# CI / pre-commit gate.  Usage: bin/check.sh  (from anywhere inside the repo)
+#
+#   1. full build (libs, executables, docs) + test suite
+#   2. format check        (skipped when ocamlformat is not installed)
+#   3. shellcheck          (skipped when shellcheck is not installed)
+#   4. trace-exporter smoke test
+#   5. bench tables, strict: every declared paper bound must hold, and the
+#      emitted JSON artifacts must round-trip through the golden differ
+#   6. negative control: a deliberately violated bound must fail the gate
+#   7. perf regression gate against the committed BENCH_congest.json
+set -eu
+cd "$(dirname "$0")/.." || exit 1
+
+echo "== build + tests =="
 dune build @all
 dune runtest
 
-# trace smoke test: run a traced protocol, check both export files appear
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== format check =="
+  dune build @fmt
+else
+  echo "== format check skipped (ocamlformat not installed) =="
+fi
+
+if command -v shellcheck >/dev/null 2>&1; then
+  echo "== shellcheck =="
+  shellcheck bin/check.sh
+else
+  echo "== shellcheck skipped (shellcheck not installed) =="
+fi
+
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+echo "== trace smoke test =="
 dune exec bin/ultraspan_cli.exe -- trace --program bfs --family gnp -n 64 \
   --degree 6 --seed 5 -o "$tmp/trace" >/dev/null
 test -s "$tmp/trace.jsonl"
 test -s "$tmp/trace.trace.json"
-dune exec bench/main.exe -- --quick --table o1 >/dev/null
 
-# perf smoke test: the microbenchmark suite runs end-to-end, its JSON
-# parses, and every suite reports at least one run
-dune exec bench/perf.exe -- --quick -o "$tmp/BENCH_congest.json" >/dev/null
-dune exec bench/perf.exe -- --validate "$tmp/BENCH_congest.json"
+echo "== bench tables (quick, strict) =="
+dune exec bench/main.exe -- --quick --all --strict \
+  --artifacts "$tmp/artifacts" >/dev/null
+dune exec bin/ultraspan_cli.exe -- report "$tmp/artifacts" >/dev/null
+
+echo "== golden self-diff (t4 against the run above) =="
+dune exec bench/main.exe -- --quick --table t4 \
+  --against "$tmp/artifacts" >/dev/null
+
+echo "== strict negative control (xfail must exit non-zero) =="
+if dune exec bench/main.exe -- --quick --table xfail --strict \
+    --artifacts "$tmp/xfail" >/dev/null 2>&1; then
+  echo "ERROR: xfail table passed the strict gate" >&2
+  exit 1
+fi
+
+echo "== perf regression gate =="
+dune exec bench/perf.exe -- --quick \
+  --against BENCH_congest.json --tolerance 40
 
 echo "check: OK"

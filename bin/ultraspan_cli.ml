@@ -418,6 +418,73 @@ let trace_cmd =
       $ root_arg $ engine_arg $ drop_arg $ crashes_arg $ top_arg $ input_arg
       $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg $ output_arg)
 
+(* ---------- report ---------- *)
+
+let report dir full =
+  let module T = Exp_table in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    failwith (Printf.sprintf "%s: not a directory (run bench/main.exe first)" dir);
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then failwith (Printf.sprintf "%s: no .json artifacts" dir);
+  let checked = ref 0 and violated = ref 0 and bad = ref 0 in
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      match T.load path with
+      | exception (Exp_json.Error msg | Failure msg) ->
+          incr bad;
+          Printf.printf "%-14s UNREADABLE (%s)\n" f msg
+      | tbl ->
+          let vs = T.violations tbl in
+          checked := !checked + T.bounds_checked tbl;
+          violated := !violated + List.length vs;
+          let title =
+            match String.index_opt tbl.T.title '\n' with
+            | None -> tbl.T.title
+            | Some i -> String.sub tbl.T.title 0 i ^ " ..."
+          in
+          Printf.printf "%-6s %-52s %3d bound(s)  %s\n" tbl.T.id title
+            (T.bounds_checked tbl)
+            (if vs = [] then "ok" else Printf.sprintf "%d VIOLATED" (List.length vs));
+          List.iter
+            (fun (sid, label, (b : T.bound)) ->
+              Printf.printf "       violation %s[%s] %s: observed %g, limit %g%s\n"
+                sid label b.T.bid b.T.observed b.T.limit
+                (if b.T.descr = "" then "" else " — " ^ b.T.descr))
+            vs;
+          if full then begin
+            print_newline ();
+            T.print tbl
+          end)
+    files;
+  Printf.printf "%d artifact(s), %d bound(s) checked, %d violated%s\n"
+    (List.length files) !checked !violated
+    (if !bad > 0 then Printf.sprintf ", %d unreadable" !bad else "");
+  if !violated > 0 || !bad > 0 then exit 1
+
+let report_dir_arg =
+  Arg.(
+    value & pos 0 string "artifacts"
+    & info [] ~docv:"DIR" ~doc:"Artifact directory (default: artifacts).")
+
+let report_full_arg =
+  Arg.(
+    value & flag
+    & info [ "full" ] ~doc:"Also render each table's full text layout.")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Summarize JSON table artifacts written by bench/main.exe: per \
+          table, the declared paper bounds and any violations.  Exits \
+          non-zero if an artifact is unreadable or a bound is violated.")
+    Term.(const report $ report_dir_arg $ report_full_arg)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -427,10 +494,18 @@ let () =
         "Deterministic distributed sparse and ultra-sparse spanners and \
          connectivity certificates (SPAA 2022 reproduction)."
   in
+  let group =
+    Cmd.group info
+      [
+        generate_cmd; stats_cmd; spanner_cmd; certificate_cmd; resilience_cmd;
+        trace_cmd; report_cmd;
+      ]
+  in
+  (* Domain errors (unknown algorithm/family/program, unreadable input)
+     surface as Failure/Sys_error; exit 1 cleanly instead of a crash with
+     backtrace, and keep cmdliner's own exit codes for usage errors. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd; stats_cmd; spanner_cmd; certificate_cmd;
-            resilience_cmd; trace_cmd;
-          ]))
+    (try Cmd.eval ~catch:false group with
+    | Failure msg | Sys_error msg ->
+        Printf.eprintf "ultraspan: %s\n" msg;
+        1)

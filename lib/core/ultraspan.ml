@@ -12,6 +12,9 @@
       and Chrome-trace exporters; {!Profile} — wall-clock phase timers.
     - {!Coloring}, {!Network_decomposition}, {!Separated_clustering},
       {!Ruling_set} — distributed decomposition primitives.
+    - {!Exp_table}, {!Exp_json} — typed experiment tables with declared
+      bound predicates, deterministic JSON artifacts and golden diffing
+      (the machine-checkable layer behind [bench/main.exe]).
 
     {1 The paper's algorithms}
 
@@ -82,6 +85,10 @@ module Greedy = Ultraspan_spanner.Greedy
 module Weighted_reduction = Ultraspan_spanner.Weighted_reduction
 module Bs_distributed = Ultraspan_spanner.Bs_distributed
 module Sf_distributed = Ultraspan_spanner.Sf_distributed
+
+(* Experiment artifacts *)
+module Exp_json = Ultraspan_exp.Json
+module Exp_table = Ultraspan_exp.Table
 
 (* Certificates *)
 module Certificate = Ultraspan_certificate.Certificate

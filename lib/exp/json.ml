@@ -1,0 +1,277 @@
+(* Minimal JSON for experiment artifacts: a typed tree, a strict parser and
+   a deterministic pretty-printer.  No external JSON library exists in the
+   image, so this is the single shared implementation (the perf harness's
+   original hand-rolled parser moved here and grew an [Int] constructor so
+   integer counts round-trip without a float detour). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let fail msg = error "%s at offset %d" msg !pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= len then fail "bad escape";
+            (match s.[!pos + 1] with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | c -> Buffer.add_char b c);
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                fields_loop ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected , or }"
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items_loop ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected , or ]"
+          in
+          items_loop ();
+          Arr (List.rev !items)
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ ->
+        let start = !pos in
+        let floaty = ref false in
+        while
+          !pos < len
+          &&
+          match s.[!pos] with
+          | '0' .. '9' | '-' | '+' -> true
+          | '.' | 'e' | 'E' ->
+              floaty := true;
+              true
+          | _ -> false
+        do
+          incr pos
+        done;
+        if !pos = start then fail "unexpected character";
+        let tok = String.sub s start (!pos - start) in
+        if !floaty then Float (float_of_string tok)
+        else begin
+          match int_of_string_opt tok with
+          | Some i -> Int i
+          | None -> Float (float_of_string tok)
+        end
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Shortest representation that round-trips: integers keep one decimal so
+   they read back as floats, everything else tries %.12g before falling
+   back to the exact %.17g. *)
+let float_to_string f =
+  if not (Float.is_finite f) then
+    invalid_arg "Json.float_to_string: non-finite (encode at a higher layer)"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_string ?(indent = 2) j =
+  let b = Buffer.create 4096 in
+  let pad d = Buffer.add_string b (String.make (d * indent) ' ') in
+  let rec go d = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_to_string f)
+    | Str s -> Buffer.add_string b (escape_string s)
+    | Arr [] -> Buffer.add_string b "[]"
+    | Arr items ->
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (d + 1);
+            go (d + 1) v)
+          items;
+        Buffer.add_char b '\n';
+        pad d;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_string b "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (d + 1);
+            Buffer.add_string b (escape_string k);
+            Buffer.add_string b ": ";
+            go (d + 1) v)
+          fields;
+        Buffer.add_char b '\n';
+        pad d;
+        Buffer.add_char b '}'
+  in
+  go 0 j;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let field name = function
+  | Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> error "missing field %s" name)
+  | _ -> error "not an object looking for %s" name
+
+let field_opt name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let num = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | _ -> error "expected number"
+
+let int = function Int i -> i | _ -> error "expected integer"
+let str = function Str s -> s | _ -> error "expected string"
+let arr = function Arr l -> l | _ -> error "expected array"
+let bool = function Bool b -> b | _ -> error "expected bool"
+let obj = function Obj l -> l | _ -> error "expected object"
+
+(* ------------------------------------------------------------------ *)
+(* files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let load path = parse (read_file path)
+
+let save path j =
+  let oc = open_out path in
+  output_string oc (to_string j);
+  close_out oc

@@ -1,0 +1,46 @@
+(** Minimal typed JSON for experiment artifacts.
+
+    The single JSON implementation shared by the bench harness, the perf
+    baseline and the CLI [report] subcommand: a strict parser (rejects
+    trailing garbage), a deterministic pretty-printer (fields keep
+    insertion order, floats print in shortest round-tripping form), and
+    total accessors raising {!Error}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+val parse : string -> t
+(** Raises {!Error} on malformed input.  Number tokens without [./e/E]
+    parse as [Int], everything else as [Float]. *)
+
+val to_string : ?indent:int -> t -> string
+(** Deterministic rendering: same tree, same bytes.  [Float] must be
+    finite — encode non-finite values at a higher layer. *)
+
+val float_to_string : float -> string
+(** Shortest representation that round-trips through [float_of_string].
+    Raises [Invalid_argument] on non-finite input. *)
+
+val field : string -> t -> t
+val field_opt : string -> t -> t option
+
+val num : t -> float
+(** Accepts both [Int] and [Float]. *)
+
+val int : t -> int
+val str : t -> string
+val arr : t -> t list
+val bool : t -> bool
+val obj : t -> (string * t) list
+
+val read_file : string -> string
+val load : string -> t
+val save : string -> t -> unit

@@ -12,5 +12,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("extensions", Test_extensions.suite);
       ("misc", Test_misc.suite);
+      ("artifacts", Test_artifacts.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,183 @@
+open Ultraspan
+open Helpers
+module T = Exp_table
+module J = Exp_json
+
+(* The typed experiment-table layer behind bench/main.exe: JSON artifacts
+   round-trip, emission is deterministic, bound predicates gate strict
+   mode, and the golden differ is exact on counts but banded on time. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let cols = [ T.col ~w:6 "n"; T.col ~w:8 "size"; T.col ~w:8 "wall" ]
+
+let sample_table () =
+  let r1 =
+    T.row
+      ~bounds:[ T.le ~id:"size<=2n" ~descr:"paper bound" 190.0 200.0 ]
+      [
+        ("n", T.Int 100); ("size", T.Int 190); ("wall", T.Time 0.37);
+        ("stretch", T.Float 2.5); ("algo", T.Str "ultra"); ("ok", T.Bool true);
+      ]
+  in
+  let r2 =
+    T.row
+      ~bounds:[ T.flag ~id:"spanning" true ]
+      [ ("n", T.Int 200); ("size", T.Int 377); ("wall", T.Time 0.74);
+        ("stretch", T.Float infinity) ]
+  in
+  T.make ~id:"tt" ~title:"round-trip sample"
+    ~params:[ ("seed", T.Int 42); ("quick", T.Bool true) ]
+    ~notes:[ "a note" ]
+    [
+      T.section ~caption:[ "prose line" ] ~rule:true ~cols "main" [ r1; r2 ];
+      T.section ~elide:4 ~indent:2 ~cols "aux" [ r2 ];
+    ]
+
+(* ---------- JSON round-trip ---------- *)
+
+let roundtrip () =
+  let t = sample_table () in
+  let s = T.to_artifact_string t in
+  let t' = T.of_artifact_string s in
+  Alcotest.(check string) "serialization is a fixpoint" s
+    (T.to_artifact_string t');
+  Alcotest.(check string) "id" t.T.id t'.T.id;
+  Alcotest.(check int) "sections" (List.length t.T.sections)
+    (List.length t'.T.sections);
+  Alcotest.(check int) "bounds survive" (T.bounds_checked t)
+    (T.bounds_checked t');
+  (* typed values survive: Time stays Time (banded in diffs), inf parses *)
+  let main = List.hd t'.T.sections in
+  let r1 = List.hd main.T.rows in
+  (match List.assoc "wall" r1.T.fields with
+  | T.Time 0.37 -> ()
+  | v -> Alcotest.failf "wall came back as %s" (T.default_render v));
+  let r2 = List.nth main.T.rows 1 in
+  match List.assoc "stretch" r2.T.fields with
+  | T.Float f when f = infinity -> ()
+  | v -> Alcotest.failf "inf came back as %s" (T.default_render v)
+
+let schema_checked () =
+  let bogus = J.Obj [ ("schema", J.Str "nonsense/9") ] in
+  match T.of_json bogus with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "wrong schema accepted"
+
+(* ---------- determinism ---------- *)
+
+(* Two table builds from the same seeded computation must emit identical
+   artifact bytes — this is what makes `--against` goldens meaningful. *)
+let deterministic_emission () =
+  let build () =
+    let g =
+      Generators.connected_gnp ~rng:(Rng.create 7) ~n:200 ~avg_degree:6.0
+    in
+    let out = Ultra_sparse.run ~t:4 g in
+    let size = Spanner.size out.Ultra_sparse.spanner in
+    T.make ~id:"det" ~title:"determinism probe"
+      [
+        T.section ~cols "s"
+          [
+            T.row
+              ~bounds:
+                [
+                  T.le ~id:"size<=n+n/t" (float_of_int size)
+                    (float_of_int (200 + (200 / 4)));
+                ]
+              [ ("n", T.Int 200); ("size", T.Int size) ];
+          ];
+      ]
+  in
+  Alcotest.(check string) "same seed, same bytes"
+    (T.to_artifact_string (build ()))
+    (T.to_artifact_string (build ()))
+
+(* ---------- bound predicates / strict gate ---------- *)
+
+let strict_catches_violation () =
+  let bad =
+    T.make ~id:"bad" ~title:"violated"
+      [
+        T.section ~cols "s"
+          [
+            T.row
+              ~bounds:[ T.le ~id:"two<=one" 2.0 1.0; T.flag ~id:"fine" true ]
+              [ ("n", T.Int 1) ];
+          ];
+      ]
+  in
+  Alcotest.(check bool) "not ok" false (T.ok bad);
+  Alcotest.(check int) "both bounds counted" 2 (T.bounds_checked bad);
+  match T.violations bad with
+  | [ (sid, _, b) ] ->
+      Alcotest.(check string) "section" "s" sid;
+      Alcotest.(check string) "bound id" "two<=one" b.T.bid
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let le_tolerates_rounding () =
+  Alcotest.(check bool) "observed == limit holds" true
+    (T.le ~id:"eq" 3.0 3.0).T.holds;
+  Alcotest.(check bool) "strictly above fails" false
+    (T.le ~id:"gt" 3.0001 3.0).T.holds
+
+(* ---------- golden diffing ---------- *)
+
+let patch_field table ~sid ~key v =
+  let patch_row (r : T.row) =
+    if List.mem_assoc key r.T.fields then
+      {
+        r with
+        T.fields = List.map (fun (k, x) -> (k, if k = key then v else x)) r.T.fields;
+      }
+    else r
+  in
+  {
+    table with
+    T.sections =
+      List.map
+        (fun (s : T.section) ->
+          if s.T.sid = sid then { s with T.rows = List.map patch_row s.T.rows }
+          else s)
+        table.T.sections;
+  }
+
+let diff_catches_injected_change () =
+  let golden = sample_table () in
+  Alcotest.(check (list string)) "self-diff is clean" []
+    (T.diff ~golden golden);
+  let broken = patch_field golden ~sid:"main" ~key:"size" (T.Int 999) in
+  match T.diff ~golden broken with
+  | [] -> Alcotest.fail "injected Int change not caught"
+  | d :: _ ->
+      Alcotest.(check bool) "diff names the field" true
+        (contains d "size")
+
+let diff_bands_time () =
+  let golden = sample_table () in
+  (* within the band: 0.37 -> 0.5 (75% relative + 0.25 flat slack) *)
+  let near = patch_field golden ~sid:"main" ~key:"wall" (T.Time 0.5) in
+  Alcotest.(check (list string)) "wall-clock jitter tolerated" []
+    (T.diff ~golden near);
+  (* far outside the band: must be flagged *)
+  let far = patch_field golden ~sid:"main" ~key:"wall" (T.Time 40.0) in
+  Alcotest.(check bool) "gross slowdown caught" true
+    (T.diff ~golden far <> []);
+  (* a Float field gets no band: tiny drift is a diff *)
+  let drift = patch_field golden ~sid:"main" ~key:"stretch" (T.Float 2.51) in
+  Alcotest.(check bool) "exact field drift caught" true
+    (T.diff ~golden drift <> [])
+
+let suite =
+  [
+    case "artifact JSON round-trip (Time, inf, bounds)" roundtrip;
+    case "artifact schema is checked" schema_checked;
+    case "same-seed emission is byte-identical" deterministic_emission;
+    case "strict gate catches a violated bound" strict_catches_violation;
+    case "le bound tolerates float rounding" le_tolerates_rounding;
+    case "golden diff catches injected change" diff_catches_injected_change;
+    case "golden diff bands Time, not Float" diff_bands_time;
+  ]
