@@ -17,6 +17,9 @@
                         instead of writing; exit 1 on any difference
    [--tolerance PCT]    wall-clock tolerance for --against (default 75)
    [--refresh-goldens]  with --against DIR: rewrite DIR instead of diffing
+   [--jobs N | -j N]    fan independent sections/trials over N domains
+                        (default: ULTRASPAN_JOBS or 1); artifacts are
+                        byte-identical for every N
    [--bechamel]         run the Bechamel wall-clock suite *)
 
 open Ultraspan
@@ -24,15 +27,93 @@ module T = Exp_table
 
 let fmt = Printf.printf
 
+let jobs = ref (Parallel.default_jobs ())
+
+(* Parallel List.map/mapi over independent table sections or rows.  The
+   results come back in list order and every builder seeds its own RNGs,
+   so the tables — and hence the JSON artifacts — are identical for every
+   job count.  Only the wall-clock tables (t9, o1) stay sequential: their
+   Time cells measure phases that must not share cores. *)
+let pmap f xs =
+  let a = Array.of_list xs in
+  Array.to_list (Parallel.map_array ~jobs:!jobs (Array.length a) (fun i -> f a.(i)))
+
+let pmapi f xs =
+  let a = Array.of_list xs in
+  Array.to_list
+    (Parallel.map_array ~jobs:!jobs (Array.length a) (fun i -> f i a.(i)))
+
+let pconcat_map f xs = List.concat (pmap f xs)
+
+(* Bounded keyed cache for generated input graphs: the same (generator,
+   params, seed) tuple recurs across tables (the quick grid is built by
+   both F1 and T5), and [Graph.t] is immutable so sharing is safe.  The
+   builders may run on several domains, so lookups are mutex-protected;
+   the build runs under the lock too, keeping the hit/miss totals
+   deterministic (for one key: first access misses, the rest hit).  FIFO
+   eviction bounds the footprint. *)
+module Gcache = struct
+  let lock = Mutex.create ()
+  let tbl : (string, Graph.t) Hashtbl.t = Hashtbl.create 64
+  let order : string Queue.t = Queue.create ()
+  let capacity = 48
+  let hits = ref 0
+  let misses = ref 0
+
+  let find key build =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt tbl key with
+        | Some g ->
+            incr hits;
+            g
+        | None ->
+            incr misses;
+            let g = build () in
+            Hashtbl.add tbl key g;
+            Queue.add key order;
+            if Queue.length order > capacity then
+              Hashtbl.remove tbl (Queue.pop order);
+            g)
+
+  let gnp ~seed ~n ~avg_degree =
+    find (Printf.sprintf "gnp/%d/%d/%g" seed n avg_degree) (fun () ->
+        Generators.connected_gnp ~rng:(Rng.create seed) ~n ~avg_degree)
+
+  let wgnp ~seed ~n ~avg_degree ~max_w =
+    find
+      (Printf.sprintf "wgnp/%d/%d/%g/%d" seed n avg_degree max_w)
+      (fun () ->
+        Generators.weighted_connected_gnp ~rng:(Rng.create seed) ~n ~avg_degree
+          ~max_w)
+
+  let grid side =
+    find (Printf.sprintf "grid/%d" side) (fun () -> Generators.grid side side)
+
+  let torus side =
+    find (Printf.sprintf "torus/%d" side) (fun () -> Generators.torus side side)
+
+  let harary ~k ~n =
+    find (Printf.sprintf "harary/%d/%d" k n) (fun () -> Generators.harary ~k ~n)
+
+  let geometric ~seed ~n ~radius =
+    find
+      (Printf.sprintf "geo/%d/%d/%g" seed n radius)
+      (fun () ->
+        let rng = Rng.create seed in
+        Generators.ensure_connected ~rng
+          (Generators.random_geometric ~rng ~n ~radius))
+end
+
 (* Exact stretch while affordable, sampled above: the check runs one
    restricted Dijkstra per vertex over the KEPT subgraph, so the cost is
    ~ n · (kept + n). *)
 let stretch_of ?(exact_limit = 120_000_000) g keep =
   let kept = Array.fold_left (fun a k -> if k then a + 1 else a) 0 keep in
   let cost = Graph.n g * (kept + Graph.n g) in
-  if cost <= exact_limit then Stretch.max_edge_stretch g keep
+  if cost <= exact_limit then Stretch.max_edge_stretch ~jobs:!jobs g keep
   else
-    Stretch.sampled_edge_stretch ~rng:(Rng.create 12345) ~samples:512 g keep
+    Stretch.sampled_edge_stretch ~jobs:!jobs ~rng:(Rng.create 12345)
+      ~samples:512 g keep
 
 let fi = float_of_int
 
@@ -54,10 +135,9 @@ let table1 ~quick () =
     ]
   in
   let sections =
-    List.map
+    pmap
       (fun n ->
-        let rng = Rng.create 42 in
-        let gu = Generators.connected_gnp ~rng ~n ~avg_degree:8.0 in
+        let gu = Gcache.gnp ~seed:42 ~n ~avg_degree:8.0 in
         let gw =
           Generators.randomize_weights ~rng:(Rng.create 7) ~lo:1 ~hi:(n * n) gu
         in
@@ -148,14 +228,13 @@ let table2 ~quick () =
     ]
   in
   let sections =
-    List.concat_map
+    pconcat_map
       (fun k ->
         let norm = fi n ** (1.0 +. (1.0 /. fi k)) in
         (* m must clear n^(1+1/k) by a healthy factor for compression to be
            visible at all. *)
         let avg_degree = Float.min (fi (n - 1) /. 3.0) (6.0 *. norm /. fi n) in
-        let rng = Rng.create (100 + k) in
-        let gu = Generators.connected_gnp ~rng ~n ~avg_degree in
+        let gu = Gcache.gnp ~seed:(100 + k) ~n ~avg_degree in
         let gw =
           Generators.randomize_weights ~rng:(Rng.create 8) ~lo:1 ~hi:(n * n) gu
         in
@@ -273,14 +352,11 @@ let table3 ~quick () =
   let graphs =
     [
       ( "weighted gnp",
-        Generators.weighted_connected_gnp ~rng:(Rng.create 5) ~n
-          ~avg_degree:12.0 ~max_w:(n * n) );
+        Gcache.wgnp ~seed:5 ~n ~avg_degree:12.0 ~max_w:(n * n) );
       ( "weighted geometric",
         let n = n / 2 in
-        let rng = Rng.create 6 in
-        Generators.ensure_connected ~rng
-          (Generators.random_geometric ~rng ~n
-             ~radius:(2.0 *. sqrt (Float.log2 (fi n) /. fi n))) );
+        Gcache.geometric ~seed:6 ~n
+          ~radius:(2.0 *. sqrt (Float.log2 (fi n) /. fi n)) );
     ]
   in
   let cols =
@@ -299,7 +375,7 @@ let table3 ~quick () =
     List.mapi
       (fun gi (name, g) ->
         let rows =
-          List.map
+          pmap
             (fun t ->
               let out = Ultra_sparse.run ~t g in
               let sp = out.Ultra_sparse.spanner in
@@ -347,10 +423,7 @@ let table3 ~quick () =
 
 let table4 ~quick () =
   let n = if quick then 2000 else 8000 in
-  let g =
-    Generators.weighted_connected_gnp ~rng:(Rng.create 11) ~n ~avg_degree:8.0
-      ~max_w:100000
-  in
+  let g = Gcache.wgnp ~seed:11 ~n ~avg_degree:8.0 ~max_w:100000 in
   let rbool = function T.Bool b -> string_of_bool b | v -> T.default_render v in
   let cols =
     [
@@ -366,7 +439,7 @@ let table4 ~quick () =
     ]
   in
   let rows =
-    List.map
+    pmap
       (fun t ->
         let p, info = Stretch_friendly.partition ~t g in
         let iters = info.Stretch_friendly.iterations in
@@ -414,7 +487,7 @@ let table4 ~quick () =
     ]
   in
   let drows =
-    List.map
+    pmap
       (fun t ->
         let out = Sf_distributed.partition ~t g in
         T.row
@@ -463,17 +536,14 @@ let fig1 ~quick () =
   let side = if quick then 40 else 64 in
   let graphs =
     [
-      ("grid", Generators.grid side side);
-      ( "unweighted gnp",
-        Generators.connected_gnp ~rng:(Rng.create 13) ~n:(side * side)
-          ~avg_degree:6.0 );
+      ("grid", Gcache.grid side);
+      ("unweighted gnp", Gcache.gnp ~seed:13 ~n:(side * side) ~avg_degree:6.0);
     ]
   in
   let sections =
-    List.concat_map
-      (fun (name, g) ->
-        List.map
-          (fun t ->
+    (* One independent job per (graph, t) pair. *)
+    pmap
+      (fun ((name, g), t) ->
             let out = Clustering_spanner.ultra_sparse ~t g in
             let final = Spanner.size out.Clustering_spanner.spanner in
             let target = Graph.n g + (Graph.n g / t) in
@@ -538,8 +608,7 @@ let fig1 ~quick () =
                  (if name = "grid" then "grid" else "gnp")
                  t)
               rows)
-          [ 2; 4 ])
-      graphs
+      (List.concat_map (fun gp -> List.map (fun t -> (gp, t)) [ 2; 4 ]) graphs)
   in
   T.make ~id:"f1"
     ~title:
@@ -561,11 +630,9 @@ let table5 ~quick () =
   let side = if quick then 40 else 64 in
   let graphs =
     [
-      ("grid", Generators.grid side side);
-      ("torus", Generators.torus side side);
-      ( "unweighted gnp",
-        Generators.connected_gnp ~rng:(Rng.create 17) ~n:(side * side)
-          ~avg_degree:8.0 );
+      ("grid", Gcache.grid side);
+      ("torus", Gcache.torus side);
+      ("unweighted gnp", Gcache.gnp ~seed:17 ~n:(side * side) ~avg_degree:8.0);
     ]
   in
   let cols =
@@ -585,7 +652,7 @@ let table5 ~quick () =
       ((2.0 *. fi treediam) +. 1.0)
   in
   let sections =
-    List.mapi
+    pmapi
       (fun gi (name, g) ->
         let nf = fi (Graph.n g) in
         let sparse = Clustering_spanner.sparse g in
@@ -668,7 +735,7 @@ let table6 ~quick () =
     [
       ( "harary+noise",
         fun k ->
-          let g0 = Generators.harary ~k:(k + 1) ~n in
+          let g0 = Gcache.harary ~k:(k + 1) ~n in
           let rng = Rng.create 19 in
           let extra =
             List.init n (fun _ ->
@@ -681,9 +748,7 @@ let table6 ~quick () =
           in
           Graph.of_edges ~n (base @ List.filter_map Fun.id extra) );
       ( "dense gnp",
-        fun k ->
-          let rng = Rng.create (23 + k) in
-          Generators.connected_gnp ~rng ~n ~avg_degree:(fi (4 * k) +. 8.0) );
+        fun k -> Gcache.gnp ~seed:(23 + k) ~n ~avg_degree:(fi (4 * k) +. 8.0) );
     ]
   in
   let cols =
@@ -698,11 +763,11 @@ let table6 ~quick () =
       T.col ~w:9 "rounds";
     ]
   in
+  let ks = if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ] in
   let sections =
-    List.concat_map
-      (fun (wname, mk) ->
-        List.map
-          (fun k ->
+    (* One independent job per (workload, k) pair. *)
+    pmap
+      (fun ((wname, mk), k) ->
             let g = mk k in
             let eps = 0.5 in
             let row ?size_limit name (c : Certificate.t) =
@@ -753,8 +818,7 @@ let table6 ~quick () =
                   (Printf.sprintf "Karger/%d" ks.Karger_split.groups)
                   ks.Karger_split.certificate;
               ])
-          (if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ]))
-      workloads
+      (List.concat_map (fun w -> List.map (fun k -> (w, k)) ks) workloads)
   in
   T.make ~id:"t6"
     ~title:"T6 (Thm G.1 / Thm 1.9): sparse connectivity certificates"
@@ -786,18 +850,19 @@ let ablation_derand ~quick () =
     ]
   in
   let rows =
-    List.map
+    pmap
       (fun k ->
-        let rng = Rng.create (31 + k) in
         let g =
-          Generators.weighted_connected_gnp ~rng ~n
+          Gcache.wgnp ~seed:(31 + k) ~n
             ~avg_degree:
               (Float.min (fi (n - 1) /. 2.0) (3.0 *. (fi n ** (1.0 /. fi k))))
             ~max_w:(n * n)
         in
         let de = fi (Spanner.size (Bs_derand.run ~k g).Bs_derand.spanner) in
+        (* Independent seeded trials: each derives its RNG from its index,
+           so the fan-out over domains leaves every size unchanged. *)
         let sizes =
-          Array.init seeds (fun i ->
+          Parallel.map_array ~jobs:!jobs seeds (fun i ->
               fi
                 (Spanner.size
                    (Baswana_sen.run ~rng:(Rng.create (500 + i)) ~k g)
@@ -848,9 +913,7 @@ let ablation_merge ~quick () =
       ("caterpillar", Generators.caterpillar (200 * scale) 4);
       ("path", Generators.path (1000 * scale));
       ( "weighted geometric",
-        let rng = Rng.create 37 in
-        Generators.ensure_connected ~rng
-          (Generators.random_geometric ~rng ~n:(800 * scale) ~radius:0.06) );
+        Gcache.geometric ~seed:37 ~n:(800 * scale) ~radius:0.06 );
     ]
   in
   let cols =
@@ -864,7 +927,7 @@ let ablation_merge ~quick () =
     ]
   in
   let sections =
-    List.mapi
+    pmapi
       (fun gi (name, g) ->
         let rows =
           List.map
@@ -911,10 +974,7 @@ let ablation_merge ~quick () =
 
 let table7 ~quick () =
   let n = if quick then 512 else 2048 in
-  let rng = Rng.create 41 in
-  let g =
-    Generators.weighted_connected_gnp ~rng ~n ~avg_degree:10.0 ~max_w:(n * 4)
-  in
+  let g = Gcache.wgnp ~seed:41 ~n ~avg_degree:10.0 ~max_w:(n * 4) in
   let cols =
     [
       T.col ~align:`L ~w:40 "pipeline";
@@ -930,7 +990,7 @@ let table7 ~quick () =
      (heavier local computation, better stretch). *)
   let sparse_1_8 = Clustering_spanner.sparse_weighted ~epsilon:0.5 in
   let sections =
-    List.map
+    pmap
       (fun t ->
         let a = Ultra_sparse.run ~t g in
         let b = Ultra_sparse.run ~sparse:sparse_1_8 ~t g in
@@ -1050,10 +1110,9 @@ let table8 ~quick () =
     ]
   in
   let sections =
-    List.map
+    pmap
       (fun n ->
-        let rng = Rng.create 43 in
-        let g = Generators.connected_gnp ~rng ~n ~avg_degree:8.0 in
+        let g = Gcache.gnp ~seed:43 ~n ~avg_degree:8.0 in
         let gw =
           Generators.randomize_weights ~rng:(Rng.create 2) ~lo:1 ~hi:1000 g
         in
@@ -1235,9 +1294,9 @@ let table_r1 ~quick () =
     ]
   in
   let cert_sections =
-    List.mapi
+    pmapi
       (fun i k ->
-        let g = Generators.harary ~k ~n:cn in
+        let g = Gcache.harary ~k ~n:cn in
         let row name (c : Certificate.t) =
           let r =
             Resilience.check_certificate ~rng:(Rng.create 101) ~budget g c
@@ -1286,7 +1345,7 @@ let table_r1 ~quick () =
   (* --- spanner stretch degradation --- *)
   let sn = if quick then 192 else 384 in
   let trials = if quick then 12 else 24 in
-  let g = Generators.connected_gnp ~rng:(Rng.create 53) ~n:sn ~avg_degree:6.0 in
+  let g = Gcache.gnp ~seed:53 ~n:sn ~avg_degree:6.0 in
   let scols =
     [
       T.col ~align:`L ~w:22 "spanner";
@@ -1306,7 +1365,7 @@ let table_r1 ~quick () =
     ]
   in
   let span_sections =
-    List.mapi
+    pmapi
       (fun i (name, sp) ->
         let rows =
           List.map
@@ -1357,7 +1416,7 @@ let table_r1 ~quick () =
   in
   (* --- native protocols under injected faults --- *)
   let bn = if quick then 256 else 1024 in
-  let g = Generators.connected_gnp ~rng:(Rng.create 59) ~n:bn ~avg_degree:8.0 in
+  let g = Gcache.gnp ~seed:59 ~n:bn ~avg_degree:8.0 in
   let plans =
     [
       ("no faults", Faults.empty);
@@ -1383,7 +1442,7 @@ let table_r1 ~quick () =
     ]
   in
   let fault_rows =
-    List.map
+    pmap
       (fun (name, plan) ->
         let result, stats = Programs.bfs ~faults:(Faults.make plan) g ~root:0 in
         let reached =
@@ -1486,12 +1545,18 @@ let forest_round_bound sub =
   let comp_of, ncomp = Connectivity.components sub in
   let minv = Array.make (max 1 ncomp) max_int in
   Array.iteri (fun v c -> if v < minv.(c) then minv.(c) <- v) comp_of;
+  let sources =
+    Array.of_seq
+      (Seq.filter (fun mv -> mv < max_int) (Array.to_seq minv))
+  in
+  (* The peeled subgraphs are unit-weighted, so the multi-source Dijkstra
+     rows equal BFS levels; unreachable entries are [Dijkstra.infinity]
+     and must be skipped (BFS marked them -1, which never won the max). *)
+  let rows = Apsp.multi_source ~jobs:!jobs sub sources in
   let b = ref 0 in
   Array.iter
-    (fun mv ->
-      if mv < max_int then
-        Array.iteri (fun _ d -> if d > !b then b := d) (Bfs.distances sub mv))
-    minv;
+    (Array.iter (fun d -> if d <> Dijkstra.infinity && d > !b then b := d))
+    rows;
   !b + 3
 
 let conv_section ?(bounds = []) ?(caption = []) sid tr =
@@ -1524,7 +1589,7 @@ let conv_section ?(bounds = []) ?(caption = []) sid tr =
 let table_o1 ~quick () =
   let n = if quick then 256 else 1024 in
   let profile = Profile.create () in
-  let g = Generators.connected_gnp ~rng:(Rng.create 61) ~n ~avg_degree:8.0 in
+  let g = Gcache.gnp ~seed:61 ~n ~avg_degree:8.0 in
   let gw = Generators.randomize_weights ~rng:(Rng.create 3) ~lo:1 ~hi:1000 g in
   let ecc = Bfs.eccentricity g 0 in
   (* BFS flood *)
@@ -1811,7 +1876,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--all] [--table ID]... [--strict]\n\
     \                [--artifacts DIR] [--against DIR] [--tolerance PCT]\n\
-    \                [--refresh-goldens] [--bechamel]\n\
+    \                [--refresh-goldens] [--jobs N | -j N] [--bechamel]\n\
      tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 (and xfail, the \
      negative control)"
 
@@ -1848,7 +1913,13 @@ let () =
         | Some v when v >= 0.0 -> tolerance := v
         | _ -> die "--tolerance expects a non-negative percentage, got %S" p);
         parse r
-    | [ (("--table" | "--artifacts" | "--against" | "--tolerance") as f) ] ->
+    | ("--jobs" | "-j") :: v :: r ->
+        (match int_of_string_opt v with
+        | Some j when j >= 1 -> jobs := j
+        | _ -> die "--jobs expects a positive integer, got %S" v);
+        parse r
+    | [ (("--table" | "--artifacts" | "--against" | "--tolerance" | "--jobs"
+        | "-j") as f) ] ->
         die "%s needs an argument" f
     | a :: _ -> die "unknown argument %S" a
   in
@@ -1905,6 +1976,7 @@ let () =
         | None -> written := !written + 1; ignore (T.save ~dir:!artifacts_dir t))
       sel;
     fmt "\n[%d bound(s) checked, %d violated]\n" !checked !viols;
+    fmt "[graph cache: %d hit(s), %d miss(es)]\n" !Gcache.hits !Gcache.misses;
     (match !against with
     | Some dir when !refresh ->
         fmt "[refreshed %d golden artifact(s) in %s]\n" !written dir

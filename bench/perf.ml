@@ -1,22 +1,30 @@
-(* Perf baseline harness for the CONGEST simulator (EXPERIMENTS.md §P1).
+(* Perf baseline harness for the CONGEST simulator and the parallel
+   verification kernels (EXPERIMENTS.md §P1).
 
-   Bechamel microbenchmarks of the simulator hot path:
+   Bechamel microbenchmarks:
    - message-plane throughput (flood workload) under both engines, which is
      the Fast-vs-Ref speedup the baseline records;
    - whole-protocol rounds-per-second (BFS, distributed Baswana-Sen,
-     spanning forest — the Thurimella substrate) at several n.
+     spanning forest — the Thurimella substrate) at several n;
+   - the domain pool: exact stretch verification and independent seeded
+     spanner trials at jobs=1 vs jobs=N (stretch:seq/stretch:par,
+     tables:seq/tables:par — identical outputs, wall-clock apart).
 
-   Results are written as JSON (schema ultraspan-perf/1, default
+   Results are written as JSON (schema ultraspan-perf/2, default
    [BENCH_congest.json]) so future PRs can diff against the recorded
-   baseline.
+   baseline; v1 baselines (no parallel section) still load.
 
    Usage:
-     perf [--quick] [-o FILE]        run the suite, write FILE
+     perf [--quick] [--jobs N] [-o FILE]   run the suite, write FILE
      perf --validate FILE            check FILE parses and each suite ran
      perf [--quick] --against FILE [--tolerance PCT] [--suites]
         rerun the suite and gate on the recorded baseline: the fast-vs-ref
         message-plane speedup must stay within PCT percent of the baseline
-        (default 40; the ratio is machine-robust, unlike wall-clock).
+        (default 40; the ratio is machine-robust, unlike wall-clock), and —
+        on machines with >= 4 cores and a v2 baseline — the stretch:par
+        speedup must clear the 1.8x floor and stay within PCT of the
+        recorded ratio.  On smaller machines the parallel gate is skipped
+        with a note: a ratio needs cores to manifest.
         [--suites] additionally gates each suite's ns/run — opt-in because
         absolute wall-clock does not transfer across CI machines. *)
 
@@ -59,6 +67,23 @@ let weighted_graph n =
   Generators.randomize_weights ~rng:(Rng.create 2) ~lo:1 ~hi:1000
     (protocol_graph n)
 
+(* Parallel-kernel workload: exact stretch of a Baswana-Sen spanner (one
+   early-exit Dijkstra per vertex, fanned over the pool) and a batch of
+   independent seeded spanner trials (the A1 ablation's inner loop).  Both
+   produce identical results at any job count — the suites measure the
+   wall-clock difference only. *)
+let par_jobs = ref 4
+let par_n ~quick = if quick then 512 else 1024
+let par_trials = 8
+
+let par_workload ~quick =
+  let g =
+    Generators.weighted_connected_gnp ~rng:(Rng.create 5) ~n:(par_n ~quick)
+      ~avg_degree:8.0 ~max_w:10000
+  in
+  let keep = (Baswana_sen.run ~rng:(Rng.create 3) ~k:3 g).Baswana_sen.spanner.Spanner.keep in
+  (g, keep)
+
 (* ------------------------------------------------------------------ *)
 (* measurement                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -79,9 +104,9 @@ let messages_per_sec r =
 let rounds_per_sec r = float_of_int r.rounds_per_run /. (r.ns_per_run *. 1e-9)
 
 (* One bechamel measurement: OLS estimate of ns/run plus the sample count,
-   paired with the workload's per-run stats (measured once, outside the
-   clock). *)
-let measure ~quick ~name ~kind ~n ~stats f =
+   paired with the workload's per-run message/round counts (measured once,
+   outside the clock; 0 for the non-simulator suites). *)
+let measure ~quick ~name ~kind ~n ~messages ~rounds f =
   let open Bechamel in
   let test = Test.make ~name (Staged.stage f) in
   let elt = List.hd (Test.elements test) in
@@ -100,27 +125,31 @@ let measure ~quick ~name ~kind ~n ~stats f =
     | Some (est :: _) -> est
     | _ -> Float.nan
   in
-  let stats : Network.stats = stats in
   {
     name;
     kind;
     n;
     runs = b.Benchmark.stats.Benchmark.samples;
     ns_per_run;
-    messages_per_run = stats.Network.messages;
-    rounds_per_run = stats.Network.rounds;
+    messages_per_run = messages;
+    rounds_per_run = rounds;
   }
+
+let measure_stats ~quick ~name ~kind ~n ~stats f =
+  let stats : Network.stats = stats in
+  measure ~quick ~name ~kind ~n ~messages:stats.Network.messages
+    ~rounds:stats.Network.rounds f
 
 let message_plane_rows ~quick =
   let g = mp_graph () in
   let run engine () = ignore (Network.run ~engine g flood_program) in
   let stats engine = snd (Network.run ~engine g flood_program) in
   let fast =
-    measure ~quick ~name:"mp:fast" ~kind:"message-plane" ~n:mp_n
+    measure_stats ~quick ~name:"mp:fast" ~kind:"message-plane" ~n:mp_n
       ~stats:(stats `Fast) (run `Fast)
   in
   let ref_ =
-    measure ~quick ~name:"mp:ref" ~kind:"message-plane" ~n:mp_n
+    measure_stats ~quick ~name:"mp:ref" ~kind:"message-plane" ~n:mp_n
       ~stats:(stats `Ref) (run `Ref)
   in
   [ fast; ref_ ]
@@ -132,18 +161,43 @@ let protocol_rows ~quick =
       let gw = weighted_graph n in
       let sized name = Printf.sprintf "%s:n=%d" name n in
       [
-        measure ~quick ~name:(sized "bfs") ~kind:"protocol" ~n
+        measure_stats ~quick ~name:(sized "bfs") ~kind:"protocol" ~n
           ~stats:(snd (Programs.bfs g ~root:0))
           (fun () -> ignore (Programs.bfs g ~root:0));
-        measure ~quick ~name:(sized "bs-distributed-k3") ~kind:"protocol" ~n
+        measure_stats ~quick ~name:(sized "bs-distributed-k3") ~kind:"protocol"
+          ~n
           ~stats:
             (Bs_distributed.run ~seed:7 ~k:3 gw).Bs_distributed.network_stats
           (fun () -> ignore (Bs_distributed.run ~seed:7 ~k:3 gw));
-        measure ~quick ~name:(sized "spanning-forest") ~kind:"protocol" ~n
+        measure_stats ~quick ~name:(sized "spanning-forest") ~kind:"protocol" ~n
           ~stats:(snd (Programs.spanning_forest g))
           (fun () -> ignore (Programs.spanning_forest g));
       ])
     (protocol_sizes ~quick)
+
+let parallel_rows ~quick =
+  let n = par_n ~quick in
+  let g, keep = par_workload ~quick in
+  let stretch jobs () = ignore (Stretch.max_edge_stretch ~jobs g keep) in
+  let trials jobs () =
+    ignore
+      (Parallel.map_array ~jobs par_trials (fun i ->
+           Spanner.size
+             (Baswana_sen.run ~rng:(Rng.create (500 + i)) ~k:3 g)
+               .Baswana_sen.spanner))
+  in
+  [
+    measure ~quick ~name:"stretch:seq" ~kind:"parallel" ~n ~messages:0
+      ~rounds:0 (stretch 1);
+    measure ~quick ~name:"stretch:par" ~kind:"parallel" ~n ~messages:0
+      ~rounds:0
+      (stretch !par_jobs);
+    measure ~quick ~name:"tables:seq" ~kind:"parallel" ~n ~messages:0
+      ~rounds:0 (trials 1);
+    measure ~quick ~name:"tables:par" ~kind:"parallel" ~n ~messages:0
+      ~rounds:0
+      (trials !par_jobs);
+  ]
 
 let run_suite ~quick =
   Printf.printf "perf: message plane (n=%d, %d flood rounds, both engines)...\n%!"
@@ -151,12 +205,28 @@ let run_suite ~quick =
   let mp = message_plane_rows ~quick in
   Printf.printf "perf: protocols at n in {%s}...\n%!"
     (String.concat ", " (List.map string_of_int (protocol_sizes ~quick)));
-  mp @ protocol_rows ~quick
+  let proto = protocol_rows ~quick in
+  Printf.printf
+    "perf: parallel kernels (n=%d, jobs=%d on %d core(s))...\n%!"
+    (par_n ~quick) !par_jobs
+    (Parallel.available_cores ());
+  mp @ proto @ parallel_rows ~quick
 
 let speedup_of rows =
   let fast = List.find (fun r -> r.name = "mp:fast") rows in
   let ref_ = List.find (fun r -> r.name = "mp:ref") rows in
   messages_per_sec fast /. messages_per_sec ref_
+
+(* seq-vs-par wall-clock ratio of a parallel suite pair (>1 = the pool
+   wins); NaN when the rows are absent (old baselines). *)
+let par_speedup_of rows prefix =
+  match
+    ( List.find_opt (fun r -> r.name = prefix ^ ":seq") rows,
+      List.find_opt (fun r -> r.name = prefix ^ ":par") rows )
+  with
+  | Some seq, Some par when par.ns_per_run > 0.0 ->
+      seq.ns_per_run /. par.ns_per_run
+  | _ -> Float.nan
 
 let print_rows rows =
   Printf.printf "%-26s %6s %8s %14s %14s %14s\n" "suite" "n" "runs" "ns/run"
@@ -171,7 +241,8 @@ let print_rows rows =
 (* JSON output (shared Exp_json encoder — schema ultraspan-perf/1)     *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "ultraspan-perf/1"
+let schema = "ultraspan-perf/2"
+let accepted_schemas = [ "ultraspan-perf/1"; schema ]
 
 (* A failed OLS estimate is NaN; encode it as 0.0 so the file stays valid
    JSON and --validate rejects it with a clear message. *)
@@ -214,6 +285,16 @@ let json_of_run ~quick rows =
             ("ref_messages_per_sec", J.Float (fin (messages_per_sec ref_)));
             ("speedup", J.Float (fin (speedup_of rows)));
           ] );
+      ( "parallel",
+        J.Obj
+          [
+            ("cores", J.Int (Parallel.available_cores ()));
+            ("jobs", J.Int !par_jobs);
+            ("n", J.Int (par_n ~quick));
+            ("trials", J.Int par_trials);
+            ("stretch_speedup", J.Float (fin (par_speedup_of rows "stretch")));
+            ("tables_speedup", J.Float (fin (par_speedup_of rows "tables")));
+          ] );
     ]
 
 let write_json ~quick ~file rows =
@@ -227,7 +308,8 @@ let write_json ~quick ~file rows =
 let load_baseline file =
   let j = J.load file in
   let s = J.str (J.field "schema" j) in
-  if s <> schema then raise (J.Error ("unknown schema " ^ s));
+  if not (List.mem s accepted_schemas) then
+    raise (J.Error ("unknown schema " ^ s));
   j
 
 let validate file =
@@ -247,6 +329,14 @@ let validate file =
   let speedup = J.num (J.field "speedup" mp) in
   if not (Float.is_finite speedup && speedup > 0.0) then
     raise (J.Error "bad message_plane.speedup");
+  (match J.field_opt "parallel" j with
+  | None -> ()
+  | Some p ->
+      let cores = J.int (J.field "cores" p) in
+      if cores <= 0 then raise (J.Error "bad parallel.cores");
+      let s = J.num (J.field "stretch_speedup" p) in
+      if not (Float.is_finite s && s > 0.0) then
+        raise (J.Error "bad parallel.stretch_speedup"));
   Printf.printf "%s: OK (%d suites, all ran; message-plane speedup %.2fx)\n"
     file (List.length suites) speedup
 
@@ -276,6 +366,37 @@ let against ~quick ~tolerance ~suites_gate ~baseline_file rows =
   if not (Float.is_finite cur_speedup) || cur_speedup < floor then
     fail "message-plane speedup %.2fx below floor %.2fx (baseline %.2fx)"
       cur_speedup floor base_speedup;
+  (* Parallel-kernel gate: a seq-vs-par ratio needs cores to manifest, so
+     it is enforced only on >= 4-core machines, and only against a v2
+     baseline that recorded the parallel section. *)
+  let cores = Parallel.available_cores () in
+  (match J.field_opt "parallel" j with
+  | None ->
+      Printf.printf
+        "parallel gate: skipped (baseline %s has no parallel section)\n"
+        baseline_file
+  | Some p when cores < 4 ->
+      let base_cores = J.int (J.field "cores" p) in
+      Printf.printf
+        "parallel gate: skipped (%d core(s) here, baseline recorded %d — \
+         the stretch:par ratio cannot manifest below 4 cores)\n"
+        cores base_cores
+  | Some p ->
+      let abs_floor = 1.8 in
+      let base_par = J.num (J.field "stretch_speedup" p) in
+      let cur_par = par_speedup_of rows "stretch" in
+      let rel_floor = base_par *. (1.0 -. tol) in
+      Printf.printf
+        "stretch:par speedup: %.2fx now vs %.2fx baseline (floors: %.2fx \
+         absolute, %.2fx relative)\n"
+        cur_par base_par abs_floor rel_floor;
+      if not (Float.is_finite cur_par) || cur_par < abs_floor then
+        fail "stretch:par speedup %.2fx below the %.2fx floor at %d cores"
+          cur_par abs_floor cores
+      else if cur_par < rel_floor then
+        fail "stretch:par speedup %.2fx below relative floor %.2fx (baseline \
+              %.2fx)"
+          cur_par rel_floor base_par);
   if suites_gate then begin
     let base_quick =
       match J.field_opt "quick" j with Some b -> J.bool b | None -> false
@@ -310,7 +431,7 @@ let against ~quick ~tolerance ~suites_gate ~baseline_file rows =
 
 let usage () =
   prerr_endline
-    "usage: perf.exe [--quick] [-o FILE]\n\
+    "usage: perf.exe [--quick] [--jobs N | -j N] [-o FILE]\n\
     \       perf.exe --validate FILE\n\
     \       perf.exe [--quick] --against FILE [--tolerance PCT] [--suites]"
 
@@ -341,7 +462,13 @@ let () =
         | Some v when v >= 0.0 -> tolerance := v
         | _ -> die "--tolerance expects a non-negative percentage, got %S" p);
         parse r
-    | [ (("-o" | "--validate" | "--against" | "--tolerance") as f) ] ->
+    | ("--jobs" | "-j") :: v :: r ->
+        (match int_of_string_opt v with
+        | Some j when j >= 1 -> par_jobs := j
+        | _ -> die "--jobs expects a positive integer, got %S" v);
+        parse r
+    | [ (("-o" | "--validate" | "--against" | "--tolerance" | "--jobs" | "-j")
+        as f) ] ->
         die "%s needs an argument" f
     | a :: _ -> die "unknown argument %S" a
   in

@@ -7,8 +7,10 @@
 #   4. trace-exporter smoke test
 #   5. bench tables, strict: every declared paper bound must hold, and the
 #      emitted JSON artifacts must round-trip through the golden differ
-#   6. negative control: a deliberately violated bound must fail the gate
-#   7. perf regression gate against the committed BENCH_congest.json
+#   6. parallel determinism: rerunning the tables over several domains
+#      (--jobs) must reproduce the sequential artifacts byte-for-byte
+#   7. negative control: a deliberately violated bound must fail the gate
+#   8. perf regression gate against the committed BENCH_congest.json
 set -eu
 cd "$(dirname "$0")/.." || exit 1
 
@@ -46,6 +48,15 @@ dune exec bin/ultraspan_cli.exe -- report "$tmp/artifacts" >/dev/null
 
 echo "== golden self-diff (t4 against the run above) =="
 dune exec bench/main.exe -- --quick --table t4 \
+  --against "$tmp/artifacts" >/dev/null
+
+# The sequential run above is the reference: a multi-domain rerun must
+# produce byte-identical artifacts (the pool's fixed chunk schedule and
+# index-ordered reduction make this exact, not approximate).
+par_jobs=$(nproc 2>/dev/null || echo 4)
+[ "$par_jobs" -lt 4 ] && par_jobs=4
+echo "== parallel determinism (--jobs $par_jobs vs the sequential run) =="
+dune exec bench/main.exe -- --quick --all --jobs "$par_jobs" \
   --against "$tmp/artifacts" >/dev/null
 
 echo "== strict negative control (xfail must exit non-zero) =="

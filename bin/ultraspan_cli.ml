@@ -172,7 +172,8 @@ let build_certificate ~algo ~k ~eps ~seed g =
 
 (* ---------- spanner ---------- *)
 
-let spanner algo k t engine breakdown input family n degree max_w seed output =
+let spanner algo k t engine breakdown jobs input family n degree max_w seed
+    output =
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
   let sp = build_spanner ~engine ~algo ~k ~t ~seed g in
@@ -181,7 +182,7 @@ let spanner algo k t engine breakdown input family n degree max_w seed output =
   Printf.printf "spanning        : %b\n" (Spanner.is_spanning g sp);
   if Graph.n g <= 4096 then
     Printf.printf "exact stretch   : %.2f\n"
-      (Stretch.max_edge_stretch g sp.Spanner.keep);
+      (Stretch.max_edge_stretch ~jobs g sp.Spanner.keep);
   Printf.printf "simulated rounds: %d\n" (Spanner.total_rounds sp);
   if breakdown then
     Format.printf "round breakdown : %a@." Rounds.pp sp.Spanner.rounds;
@@ -207,14 +208,23 @@ let breakdown_arg =
           "Print the hierarchical round-accounting tree (algorithm -> phase \
            -> step spans).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the stretch verification over $(docv) domains (default \
+           ULTRASPAN_JOBS or 1).  The result is identical for every N.")
+
 let spanner_cmd =
   Cmd.v
     (Cmd.info "spanner" ~doc:"Compute a spanner and report its guarantees.")
     Term.(
       const spanner $ spanner_algo_arg
       $ k_arg "Stretch parameter k (stretch 2k-1)."
-      $ t_arg $ engine_arg $ breakdown_arg $ input_arg $ family_arg $ n_arg
-      $ degree_arg $ weights_arg $ seed_arg $ output_arg)
+      $ t_arg $ engine_arg $ breakdown_arg $ jobs_arg $ input_arg $ family_arg
+      $ n_arg $ degree_arg $ weights_arg $ seed_arg $ output_arg)
 
 (* ---------- certificate ---------- *)
 

@@ -3,7 +3,9 @@
     {1 Substrates}
 
     - {!Rng}, {!Pqueue}, {!Bitset}, {!Union_find}, {!Stats}, {!Hash_family}
-      — deterministic utilities.
+      — deterministic utilities; {!Parallel} — the deterministic domain
+      pool behind the [?jobs] arguments of the verification kernels and
+      the bench harness fan-out.
     - {!Graph} and friends — the CSR graph substrate with stable edge ids.
     - {!Network}, {!Programs}, {!Rounds} — the CONGEST simulator and round
       accounting; {!Faults} — deterministic fault schedules (crashes, link
@@ -36,6 +38,7 @@ module Union_find = Ultraspan_util.Union_find
 module Stats = Ultraspan_util.Stats
 module Hash_family = Ultraspan_util.Hash_family
 module Profile = Ultraspan_util.Profile
+module Parallel = Ultraspan_util.Parallel
 
 (* Graphs *)
 module Graph = Ultraspan_graph.Graph

@@ -1,3 +1,5 @@
+module Parallel = Ultraspan_util.Parallel
+
 let floyd_warshall g =
   let n = Graph.n g in
   let inf = Dijkstra.infinity in
@@ -21,13 +23,17 @@ let floyd_warshall g =
   done;
   d
 
-let by_dijkstra ?allow g =
-  Array.init (Graph.n g) (fun v -> Dijkstra.distances ?allow g v)
+let multi_source ?jobs ?allow g sources =
+  Parallel.map_array ?jobs (Array.length sources) (fun i ->
+      Dijkstra.distances ?allow g sources.(i))
 
-let exact_pair_stretch g keep =
+let by_dijkstra ?jobs ?allow g =
+  Parallel.map_array ?jobs (Graph.n g) (fun v -> Dijkstra.distances ?allow g v)
+
+let exact_pair_stretch ?jobs g keep =
   let n = Graph.n g in
-  let dg = by_dijkstra g in
-  let dh = by_dijkstra ~allow:(fun eid -> keep.(eid)) g in
+  let dg = by_dijkstra ?jobs g in
+  let dh = by_dijkstra ?jobs ~allow:(fun eid -> keep.(eid)) g in
   let worst = ref 1.0 in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
@@ -42,18 +48,12 @@ let exact_pair_stretch g keep =
   done;
   if n < 2 then 1.0 else !worst
 
-let diameter g =
+let diameter ?jobs g =
   let n = Graph.n g in
   if n < 2 then 0
-  else begin
-    let worst = ref 0 in
-    for v = 0 to n - 1 do
-      let d = Dijkstra.distances g v in
-      Array.iter
-        (fun x ->
-          if x = Dijkstra.infinity then worst := Dijkstra.infinity
-          else if !worst < Dijkstra.infinity && x > !worst then worst := x)
-        d
-    done;
-    !worst
-  end
+  else
+    (* [Dijkstra.infinity] is [max_int], so a plain max propagates
+       unreachability exactly like the sequential sticky-infinity loop. *)
+    Parallel.map_reduce ?jobs ~n
+      ~map:(fun v -> Array.fold_left max 0 (Dijkstra.distances g v))
+      ~init:0 ~reduce:max

@@ -1,0 +1,199 @@
+let default_jobs () =
+  match Sys.getenv_opt "ULTRASPAN_JOBS" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "ULTRASPAN_JOBS must be a positive integer, got %S" s))
+
+let available_cores () = Domain.recommended_domain_count ()
+
+(* ------------------------------------------------------------------ *)
+(* the pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type task = {
+  body : int -> unit;  (* chunk index -> work *)
+  nchunks : int;
+  next : int Atomic.t;  (* next unclaimed chunk *)
+  workers : int;  (* pool workers participating (the caller is extra) *)
+  mutable running : int;  (* participating workers not yet finished *)
+  mutable failed : exn option;  (* first failure, re-raised on the caller *)
+}
+
+type pool = {
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable task : task option;
+  mutable generation : int;  (* bumped once per published task *)
+  mutable domains : unit Domain.t list;
+  mutable size : int;
+  mutable quit : bool;
+}
+
+let pool =
+  {
+    lock = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    task = None;
+    generation = 0;
+    domains = [];
+    size = 0;
+    quit = false;
+  }
+
+(* True while this domain is executing chunks of some task: a nested
+   parallel section must run sequentially (the pool is parked behind the
+   outer section, so waiting on it would deadlock). *)
+let inside_section = Domain.DLS.new_key (fun () -> ref false)
+
+let record_failure t e =
+  Mutex.lock pool.lock;
+  if t.failed = None then t.failed <- Some e;
+  Mutex.unlock pool.lock;
+  (* stop other domains from claiming further chunks; fail fast *)
+  Atomic.set t.next t.nchunks
+
+let claim_chunks t =
+  let inside = Domain.DLS.get inside_section in
+  inside := true;
+  let rec go () =
+    let c = Atomic.fetch_and_add t.next 1 in
+    if c < t.nchunks then begin
+      (try t.body c with e -> record_failure t e);
+      go ()
+    end
+  in
+  go ();
+  inside := false
+
+let rec worker_loop id last_gen =
+  Mutex.lock pool.lock;
+  while (not pool.quit) && pool.generation = last_gen do
+    Condition.wait pool.work_ready pool.lock
+  done;
+  if pool.quit then Mutex.unlock pool.lock
+  else begin
+    let gen = pool.generation in
+    let task = pool.task in
+    Mutex.unlock pool.lock;
+    (match task with
+    | Some t when id < t.workers ->
+        claim_chunks t;
+        Mutex.lock pool.lock;
+        t.running <- t.running - 1;
+        if t.running = 0 then Condition.broadcast pool.work_done;
+        Mutex.unlock pool.lock
+    | _ -> ());
+    worker_loop id gen
+  end
+
+let teardown () =
+  Mutex.lock pool.lock;
+  pool.quit <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.domains;
+  pool.domains <- [];
+  pool.size <- 0
+
+(* Grow the pool to [want] parked workers.  Workers capture the generation
+   current at spawn time, so a task published after this call is always
+   observed as new. *)
+let ensure_workers want =
+  if pool.size < want then begin
+    if pool.size = 0 then at_exit teardown;
+    Mutex.lock pool.lock;
+    let gen = pool.generation in
+    Mutex.unlock pool.lock;
+    for id = pool.size to want - 1 do
+      pool.domains <- Domain.spawn (fun () -> worker_loop id gen) :: pool.domains
+    done;
+    pool.size <- want
+  end
+
+(* Fixed chunk partition: a function of the range only, never of the job
+   count.  Chunk [c] of [n] indices covers [n*c/k, n*(c+1)/k) for
+   k = min n 64 — balanced to within one index. *)
+let max_chunks = 64
+
+let run_chunked ~jobs ~nchunks body =
+  if nchunks > 0 then
+    if jobs <= 1 || nchunks = 1 || !(Domain.DLS.get inside_section) then
+      for c = 0 to nchunks - 1 do
+        body c
+      done
+    else begin
+      let workers = min (jobs - 1) (nchunks - 1) in
+      ensure_workers workers;
+      let t =
+        {
+          body;
+          nchunks;
+          next = Atomic.make 0;
+          workers;
+          running = workers;
+          failed = None;
+        }
+      in
+      Mutex.lock pool.lock;
+      pool.task <- Some t;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.lock;
+      claim_chunks t;
+      Mutex.lock pool.lock;
+      while t.running > 0 do
+        Condition.wait pool.work_done pool.lock
+      done;
+      pool.task <- None;
+      Mutex.unlock pool.lock;
+      match t.failed with Some e -> raise e | None -> ()
+    end
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some j -> invalid_arg (Printf.sprintf "Parallel: jobs must be >= 1, got %d" j)
+
+let parallel_for ?jobs lo hi f =
+  let len = hi - lo in
+  if len > 0 then begin
+    let jobs = resolve_jobs jobs in
+    let nchunks = min len max_chunks in
+    run_chunked ~jobs ~nchunks (fun c ->
+        let a = lo + (len * c / nchunks) and b = lo + (len * (c + 1) / nchunks) in
+        for i = a to b - 1 do
+          f i
+        done)
+  end
+
+let map_array ?jobs n f =
+  if n = 0 then [||]
+  else begin
+    let res = Array.make n None in
+    parallel_for ?jobs 0 n (fun i -> res.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) res
+  end
+
+let map_list ?jobs f xs =
+  let a = Array.of_list xs in
+  Array.to_list (map_array ?jobs (Array.length a) (fun i -> f a.(i)))
+
+let map_reduce ?jobs ~n ~map ~init ~reduce =
+  let jobs = resolve_jobs jobs in
+  if jobs <= 1 || n <= 1 then begin
+    (* Sequential left fold — the parallel path below performs exactly this
+       arithmetic (per-index values reduced in index order). *)
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := reduce !acc (map i)
+    done;
+    !acc
+  end
+  else Array.fold_left reduce init (map_array ~jobs n map)

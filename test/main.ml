@@ -2,6 +2,7 @@ let () =
   Alcotest.run "ultraspan"
     [
       ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
       ("graph", Test_graph.suite);
       ("congest", Test_congest.suite);
       ("engine-diff", Test_engine_diff.suite);
