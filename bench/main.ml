@@ -10,7 +10,7 @@
    [--quick]            smaller instances (CI-friendly)
    [--all]              run every experiment (the default selection)
    [--table ID]         run one experiment; repeatable
-                        (t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1)
+                        (t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 d1)
    [--strict]           exit 1 if any declared bound is violated
    [--artifacts DIR]    where to write JSON artifacts (default: artifacts)
    [--against DIR]      diff this run against golden artifacts in DIR
@@ -1781,6 +1781,303 @@ let table_o1 ~quick () =
     @ [ digest_section; prof_section ])
 
 (* ------------------------------------------------------------------ *)
+(* D1 — self-healing: batched update streams, incremental repair vs    *)
+(* from-scratch rebuild, recertified recovery                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Differential harness: the same seeded stream drives an incremental
+   engine and a rebuild-every-batch engine from a common initial state,
+   and after every batch BOTH are recertified by the ground-truth
+   checkers.  The engines are stateful so each workload is sequential;
+   the independent workloads fan over the domain pool instead. *)
+let d1_run cfg g stream =
+  let inc = Repair.create cfg g in
+  let rb = Repair.create { cfg with Repair.mode = `Rebuild } g in
+  let per =
+    List.map
+      (fun b ->
+        let oi = Repair.apply_batch inc b in
+        let orb = Repair.apply_batch rb b in
+        let vi = Repair.recertify inc in
+        let vrb = Repair.recertify rb in
+        (oi, orb, vi, vrb))
+      stream.Update_stream.batches
+  in
+  (inc, rb, per)
+
+let d1_action = function `Repair -> "repair" | `Rebuild -> "rebuild"
+
+let table_d1 ~quick () =
+  let k = 3 in
+  let alpha = (2 * k) - 1 in
+  let batch_cols =
+    [
+      T.col ~w:5 "batch";
+      T.col ~w:4 "ins";
+      T.col ~w:4 "del";
+      T.col ~align:`L ~w:7 "action";
+      T.col ~w:5 "dirty";
+      T.col ~w:5 "cand";
+      T.col ~w:5 "added";
+      T.col ~w:8 "work";
+      T.col ~w:8 ~title:"rb-work" "rb_work";
+      T.col ~w:8 "stretch";
+    ]
+  in
+  (* Workload 1: unit-weight torus under a seeded insert/delete mix.
+     Balls of radius 2k-1 have O(1) size here while the rebuild proxy
+     grows with m, so past a modest scale locality pays on the
+     deterministic work counters too, not just on wall clock. *)
+  let side = if quick then 28 else 40 in
+  let batches = if quick then 6 else 8 in
+  let ops = if quick then 6 else 12 in
+  let torus_sections () =
+    let g = Gcache.torus side in
+    let stream =
+      Update_stream.generate ~rng:(Rng.create 83) ~batches ~ops
+        ~insert_frac:0.5 ~max_w:1 g
+    in
+    let cfg = { (Repair.defaults ~k) with Repair.jobs = !jobs } in
+    let inc, rb, per = d1_run cfg g stream in
+    let open Repair in
+    let rows =
+      List.map
+        (fun (oi, orb, vi, vrb) ->
+          T.row
+            ~bounds:
+              [
+                T.flag
+                  ~id:(Printf.sprintf "stretch-ok/b%d" oi.batch)
+                  ~descr:"post-batch state passes check_stretch at 2k-1"
+                  vi.stretch_ok;
+                T.flag
+                  ~id:(Printf.sprintf "verdict-match/b%d" oi.batch)
+                  ~descr:"repair and rebuild agree on every verdict"
+                  (vi.stretch_ok = vrb.stretch_ok && vi.spanning = vrb.spanning);
+              ]
+            [
+              ("batch", T.Int oi.batch);
+              ("ins", T.Int oi.inserts);
+              ("del", T.Int oi.deletes);
+              ("action", T.Str (d1_action oi.action));
+              ("dirty", T.Int oi.dirty);
+              ("cand", T.Int oi.candidates);
+              ("added", T.Int oi.added);
+              ("work", T.Int oi.work);
+              ("rb_work", T.Int orb.work);
+              ("stretch", T.Float vi.stretch);
+            ])
+        per
+    in
+    let nb = List.length per in
+    let total_ops = Update_stream.op_count stream in
+    let inc_work = List.fold_left (fun a (o, _, _, _) -> a + o.work) 0 per in
+    let rb_work = List.fold_left (fun a (_, o, _, _) -> a + o.work) 0 per in
+    let wins =
+      List.length
+        (List.filter
+           (fun (o, _, _, _) -> o.action = `Repair && o.work < o.rebuild_work)
+           per)
+    in
+    let final_stretch =
+      match List.rev per with (_, _, v, _) :: _ -> v.stretch | [] -> 1.0
+    in
+    let same_graph =
+      Graph_io.to_string (Repair.graph inc) = Graph_io.to_string (Repair.graph rb)
+    in
+    (* replay determinism: a fresh engine over the same stream reproduces
+       every outcome, the final graph and the final spanner mask *)
+    let state e os =
+      (os, Graph_io.to_string (Repair.graph e), Repair.spanner e)
+    in
+    let fresh = Repair.create cfg g in
+    let replayed = state fresh (Repair.apply_stream fresh stream) in
+    let first = state inc (List.map (fun (o, _, _, _) -> o) per) in
+    let identical = replayed = first in
+    let scols =
+      [ T.col ~align:`L ~w:46 "metric"; T.col ~w:10 "value" ]
+    in
+    let srow ?(bounds = []) m v = T.row ~bounds [ ("metric", T.Str m); ("value", v) ] in
+    [
+      T.section
+        ~caption:
+          [
+            Printf.sprintf
+              "torus %dx%d (unit weights), k=%d: stream seed 83, %d batches x \
+               %d ops, insert_frac 0.5."
+              side side k batches ops;
+            "work = Dijkstra relaxations + candidate-filter scans; rb-work = \
+             the rebuild engine's";
+            "(k+1)m + n proxy (a lower bound, so the comparison favours the \
+             rebuild).";
+          ]
+        ~cols:batch_cols "torus" rows;
+      T.section ~caption:[ "" ] ~cols:scols ~rule:false "summary"
+        [
+          srow "amortized work per update (incremental)"
+            (T.Float (fi inc_work /. fi total_ops));
+          srow "amortized work per update (rebuild proxy)"
+            (T.Float (fi rb_work /. fi total_ops));
+          srow
+            ~bounds:
+              [
+                T.ge ~id:"win-ratio>=1/2"
+                  ~descr:
+                    "repair beats the rebuild proxy on counted work in at \
+                     least half the batches"
+                  (fi wins /. fi nb) 0.5;
+              ]
+            "batches where repair work < rebuild proxy"
+            (T.Str (Printf.sprintf "%d/%d" wins nb));
+          srow
+            ~bounds:
+              [
+                T.le ~id:"stretch<=2k-1"
+                  ~descr:"stretch never drifts past the 2k-1 contract"
+                  final_stretch (fi alpha);
+              ]
+            "final stretch (incremental engine)" (T.Float final_stretch);
+          srow
+            ~bounds:
+              [
+                T.flag ~id:"engines-same-graph"
+                  ~descr:"both engines track the same current graph"
+                  same_graph;
+              ]
+            "final graphs identical (repair vs rebuild)"
+            (T.Str (if same_graph then "yes" else "NO"));
+          srow
+            ~bounds:
+              [
+                T.flag ~id:"replay-deterministic"
+                  ~descr:
+                    "a fresh engine on the same stream reproduces outcomes, \
+                     graph and spanner"
+                  identical;
+              ]
+            "replay determinism (fresh engine, same stream)"
+            (T.Str (if identical then "bit-identical" else "MISMATCH"));
+        ];
+    ]
+  in
+  (* Workload 2: a PR-1 fault plan reinterpreted as a deletion stream on a
+     Harary graph, with a lazily recertified Thurimella certificate. *)
+  let fn = if quick then 48 else 96 in
+  let fcount = if quick then 8 else 16 in
+  let fault_sections () =
+    let g = Gcache.harary ~k:4 ~n:fn in
+    let plan =
+      Faults.random_link_failures ~rng:(Rng.create 101) g ~within:3
+        ~count:fcount Faults.empty
+    in
+    let stream = Update_stream.of_faults g plan in
+    let cfg =
+      {
+        (Repair.defaults ~k:2) with
+        Repair.cert = Some (Repair.Thurimella, 2);
+        Repair.jobs = !jobs;
+      }
+    in
+    let eng = Repair.create cfg g in
+    let open Repair in
+    let rows =
+      List.map
+        (fun b ->
+          let o = Repair.apply_batch eng b in
+          let v =
+            Repair.recertify ~rng:(Rng.create 7)
+              ~budget:(if quick then 120 else 200)
+              eng
+          in
+          T.row
+            ~bounds:
+              [
+                T.flag
+                  ~id:(Printf.sprintf "fault-stretch-ok/b%d" o.batch)
+                  ~descr:"post-batch state passes check_stretch at 2k-1"
+                  v.stretch_ok;
+                T.flag
+                  ~id:(Printf.sprintf "cert-ok/b%d" o.batch)
+                  ~descr:"Certificate.is_certificate holds after the batch"
+                  (v.cert_ok = Some true);
+                T.flag
+                  ~id:(Printf.sprintf "cert-resilient/b%d" o.batch)
+                  ~descr:"zero violations under Resilience failure sets"
+                  (v.cert_violations = Some 0);
+                T.le
+                  ~id:(Printf.sprintf "debt<=headroom/b%d" o.batch)
+                  ~descr:"deletion debt never exceeds the built-in headroom"
+                  (fi o.cert_debt)
+                  (fi cfg.Repair.headroom);
+              ]
+            [
+              ("batch", T.Int o.batch);
+              ("del", T.Int o.deletes);
+              ("action", T.Str (d1_action o.action));
+              ("cert_rm", T.Int o.cert_removed);
+              ("debt", T.Int o.cert_debt);
+              ("rebuilt", T.Str (if o.cert_rebuilt then "yes" else "-"));
+              ("csize", T.Int (Repair.certificate_size eng));
+              ("stretch", T.Float v.stretch);
+            ])
+        stream.Update_stream.batches
+    in
+    [
+      T.section
+        ~caption:
+          [
+            "";
+            Printf.sprintf
+              "fault-plan stream (harary k=4 n=%d): %d random link failures \
+               within 4 rounds"
+              fn fcount;
+            "(Faults.random_link_failures seed 101 -> Update_stream.of_faults), \
+             spanner k=2 with a";
+            "Thurimella 2-certificate, headroom 2: debt-tracked lazy \
+             recertification.";
+          ]
+        ~cols:
+          [
+            T.col ~w:5 "batch";
+            T.col ~w:4 "del";
+            T.col ~align:`L ~w:7 "action";
+            T.col ~w:7 "cert_rm";
+            T.col ~w:5 "debt";
+            T.col ~align:`L ~w:7 "rebuilt";
+            T.col ~w:6 "csize";
+            T.col ~w:8 "stretch";
+          ]
+        "faults" rows;
+    ]
+  in
+  let sections =
+    List.concat (pmap (fun build -> build ()) [ torus_sections; fault_sections ])
+  in
+  T.make ~id:"d1"
+    ~title:
+      "D1: self-healing — batched update streams, incremental repair vs \
+       from-scratch rebuild,\n\
+       and recertified recovery (ground-truth checkers after every batch)"
+    ~params:
+      [
+        ("quick", T.Bool quick);
+        ("k", T.Int k);
+        ("torus", T.Str (Printf.sprintf "%dx%d" side side));
+        ("fault_n", T.Int fn);
+      ]
+    ~notes:
+      [
+        "shape check: every post-batch state passes check_stretch at 2k-1, \
+         the repair engine matches";
+        "the rebuild baseline's verdicts, and the fault-derived stream keeps \
+         the certificate valid";
+        "with zero Resilience violations.  Rebuild work is the documented \
+         lower-bound proxy";
+        "(k+1)m + n, so the win-ratio claim is conservative.";
+      ]
+    sections
+
+(* ------------------------------------------------------------------ *)
 (* XFAIL — hidden negative control for CI (--table xfail --strict       *)
 (* must exit 1; never part of the default selection)                    *)
 (* ------------------------------------------------------------------ *)
@@ -1870,6 +2167,7 @@ let all_tables =
     ("f1", fig1); ("t5", table5); ("t6", table6); ("t7", table7);
     ("t8", table8); ("t9", table9); ("r1", table_r1);
     ("a1", ablation_derand); ("a2", ablation_merge); ("o1", table_o1);
+    ("d1", table_d1);
   ]
 
 let usage () =
@@ -1877,7 +2175,7 @@ let usage () =
     "usage: main.exe [--quick] [--all] [--table ID]... [--strict]\n\
     \                [--artifacts DIR] [--against DIR] [--tolerance PCT]\n\
     \                [--refresh-goldens] [--jobs N | -j N] [--bechamel]\n\
-     tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 (and xfail, the \
+     tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 d1 (and xfail, the \
      negative control)"
 
 let die fmtstr =

@@ -9,8 +9,11 @@
 #      emitted JSON artifacts must round-trip through the golden differ
 #   6. parallel determinism: rerunning the tables over several domains
 #      (--jobs) must reproduce the sequential artifacts byte-for-byte
-#   7. negative control: a deliberately violated bound must fail the gate
-#   8. perf regression gate against the committed BENCH_congest.json
+#   7. stream-replay determinism: an emitted update stream replays through
+#      the repair engine recertified, and rerunning the D1 table from the
+#      same seed reproduces its artifact byte-for-byte
+#   8. negative control: a deliberately violated bound must fail the gate
+#   9. perf regression gate against the committed BENCH_congest.json
 set -eu
 cd "$(dirname "$0")/.." || exit 1
 
@@ -58,6 +61,18 @@ par_jobs=$(nproc 2>/dev/null || echo 4)
 echo "== parallel determinism (--jobs $par_jobs vs the sequential run) =="
 dune exec bench/main.exe -- --quick --all --jobs "$par_jobs" \
   --against "$tmp/artifacts" >/dev/null
+
+echo "== stream smoke test (emit, then replay recertified) =="
+dune exec bin/ultraspan_cli.exe -- stream --emit --family torus -n 64 \
+  --batches 4 --ops 6 --seed 9 -o "$tmp/stream.txt" >/dev/null
+test -s "$tmp/stream.txt"
+dune exec bin/ultraspan_cli.exe -- stream --replay "$tmp/stream.txt" \
+  --family torus -n 64 --seed 9 >/dev/null
+
+echo "== stream-replay determinism (same seed, byte-identical D1) =="
+dune exec bench/main.exe -- --quick --table d1 \
+  --artifacts "$tmp/d1-replay" >/dev/null
+cmp "$tmp/artifacts/d1.json" "$tmp/d1-replay/d1.json"
 
 echo "== strict negative control (xfail must exit non-zero) =="
 if dune exec bench/main.exe -- --quick --table xfail --strict \

@@ -262,8 +262,23 @@ let certificate_cmd =
 
 (* ---------- resilience ---------- *)
 
+(* Domain validation for user-supplied parameters: a one-line [Failure]
+   (caught in [main] below) instead of a backtrace from deep inside a
+   library. *)
+let validate_k who k =
+  if k < 1 then failwith (Printf.sprintf "%s: k must be >= 1 (got %d)" who k)
+
 let resilience algo spanner_algo k t eps budget trials failures input family n
     degree max_w seed =
+  validate_k "resilience" k;
+  if budget < 1 then
+    failwith (Printf.sprintf "resilience: budget must be >= 1 (got %d)" budget);
+  if trials < 0 then
+    failwith (Printf.sprintf "resilience: trials must be >= 0 (got %d)" trials);
+  (match failures with
+  | Some f when f < 0 ->
+      failwith (Printf.sprintf "resilience: failures must be >= 0 (got %d)" f)
+  | _ -> ());
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
   match spanner_algo with
@@ -327,6 +342,162 @@ let resilience_cmd =
       $ k_arg "Connectivity / stretch parameter k."
       $ t_arg $ eps_arg $ budget_arg $ trials_arg $ failures_arg $ input_arg
       $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg)
+
+(* ---------- stream ---------- *)
+
+let stream replay emit batches ops insert_frac from_faults mode cert cert_k k
+    jobs input family n degree max_w seed output =
+  validate_k "stream" k;
+  if jobs < 1 then
+    failwith (Printf.sprintf "stream: jobs must be >= 1 (got %d)" jobs);
+  let g = load_graph input family n degree max_w seed in
+  let make_stream () =
+    let rng = Rng.create seed in
+    let s =
+      if from_faults > 0 then
+        Update_stream.of_faults g
+          (Faults.random_link_failures ~rng g ~within:(max 0 (batches - 1))
+             ~count:from_faults Faults.empty)
+      else Update_stream.generate ~rng ~batches ~ops ~insert_frac g
+    in
+    { s with Update_stream.seed }
+  in
+  match (replay, emit) with
+  | None, false | Some _, true ->
+      failwith "stream: pass exactly one of --emit or --replay FILE"
+  | None, true ->
+      let s = make_stream () in
+      (match output with
+      | Some path ->
+          Update_stream.save path s;
+          Format.eprintf "wrote %a to %s@." Update_stream.pp s path
+      | None -> print_string (Update_stream.to_string s))
+  | Some path, false ->
+      let s = if path = "-" then make_stream () else Update_stream.load path in
+      Format.printf "input: %a@." Graph.pp g;
+      Format.printf "stream: %a@." Update_stream.pp s;
+      let cfg =
+        {
+          (Repair.defaults ~k) with
+          Repair.mode;
+          cert = Option.map (fun algo -> (algo, cert_k)) cert;
+          jobs;
+        }
+      in
+      (match cfg.Repair.cert with
+      | Some (_, ck) when ck < 1 ->
+          failwith (Printf.sprintf "stream: cert-k must be >= 1 (got %d)" ck)
+      | _ -> ());
+      let eng = Repair.create cfg g in
+      Printf.printf "initial: %d spanner edges (stretch bound %d)%s\n"
+        (Repair.spanner_size eng)
+        ((2 * k) - 1)
+        (if cfg.Repair.cert = None then ""
+         else Printf.sprintf ", %d certificate edges" (Repair.certificate_size eng));
+      let failures = ref 0 in
+      List.iteri
+        (fun i b ->
+          let o = Repair.apply_batch eng b in
+          let v = Repair.recertify ~rng:(Rng.create seed) eng in
+          let ok =
+            v.Repair.stretch_ok && v.Repair.spanning
+            && v.Repair.cert_ok <> Some false
+          in
+          if not ok then incr failures;
+          Format.printf "%a | %a@." Repair.pp_outcome o Repair.pp_verdicts v;
+          ignore i)
+        s.Update_stream.batches;
+      Printf.printf "final: %d edges, %d spanner edges, recertified %d/%d batches\n"
+        (Graph.m (Repair.graph eng))
+        (Repair.spanner_size eng)
+        (List.length s.Update_stream.batches - !failures)
+        (List.length s.Update_stream.batches);
+      if !failures > 0 then exit 1
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Replay stream $(docv) through the repair engine against the \
+           input graph, recertifying after every batch ($(b,-) generates \
+           the stream in-process from --seed instead of reading a file).")
+
+let emit_arg =
+  Arg.(
+    value & flag
+    & info [ "emit" ]
+        ~doc:"Generate a seeded stream and print it (or save with -o).")
+
+let batches_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "batches" ] ~docv:"B" ~doc:"Batches to generate (--emit).")
+
+let ops_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "ops" ] ~docv:"O" ~doc:"Ops per generated batch (--emit).")
+
+let insert_frac_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "insert-frac" ] ~docv:"F"
+        ~doc:"Fraction of insertions among generated ops (in [0, 1]).")
+
+let from_faults_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "from-faults" ] ~docv:"L"
+        ~doc:
+          "Derive the stream from a random fault plan with $(docv) link \
+           failures (PR 1 semantics: a link failure is an edge deletion) \
+           instead of the insert/delete generator.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("repair", `Incremental); ("rebuild", `Rebuild) ]) `Incremental
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Maintenance mode: incremental repair (default) or from-scratch \
+           rebuild every batch (the differential baseline).")
+
+let cert_opt_arg =
+  Arg.(
+    value
+    & opt
+        (some (enum [ ("thurimella", Repair.Thurimella); ("kecss", Repair.Kecss) ]))
+        None
+    & info [ "cert" ] ~docv:"ALGO"
+        ~doc:
+          "Also maintain a connectivity certificate (thurimella | kecss) \
+           with lazy recertification.")
+
+let cert_k_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "cert-k" ] ~docv:"CK"
+        ~doc:"Connectivity certified by --cert (default 2).")
+
+let stream_cmd =
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Batched edge-update streams (ultraspan-stream/1): generate or \
+          fault-derive one with --emit, or --replay one through the \
+          incremental spanner-repair engine, recertifying the spanner (and \
+          optional certificate) after every batch with the ground-truth \
+          checkers.  Exits non-zero if any post-batch state fails \
+          recertification.")
+    Term.(
+      const stream $ replay_arg $ emit_arg $ batches_arg $ ops_arg
+      $ insert_frac_arg $ from_faults_arg $ mode_arg $ cert_opt_arg
+      $ cert_k_arg
+      $ k_arg "Stretch parameter k (stretch 2k-1)."
+      $ jobs_arg $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg
+      $ seed_arg $ output_arg)
 
 (* ---------- trace ---------- *)
 
@@ -508,14 +679,15 @@ let () =
     Cmd.group info
       [
         generate_cmd; stats_cmd; spanner_cmd; certificate_cmd; resilience_cmd;
-        trace_cmd; report_cmd;
+        stream_cmd; trace_cmd; report_cmd;
       ]
   in
-  (* Domain errors (unknown algorithm/family/program, unreadable input)
-     surface as Failure/Sys_error; exit 1 cleanly instead of a crash with
-     backtrace, and keep cmdliner's own exit codes for usage errors. *)
+  (* Domain errors (unknown algorithm/family/program, unreadable input,
+     malformed stream files, out-of-range parameters) surface as
+     Failure/Sys_error/Invalid_argument; exit 1 cleanly instead of a crash
+     with backtrace, and keep cmdliner's own exit codes for usage errors. *)
   exit
     (try Cmd.eval ~catch:false group with
-    | Failure msg | Sys_error msg ->
+    | Failure msg | Sys_error msg | Invalid_argument msg ->
         Printf.eprintf "ultraspan: %s\n" msg;
         1)

@@ -55,6 +55,54 @@ let random_link_failures ~rng g ~within ~count spec =
       sever ~round:(Rng.int rng (within + 1)) u v spec)
     spec eids
 
+let to_update_stream g spec =
+  let n = Graph.n g in
+  let check_node who v =
+    if v < 0 || v >= n then
+      invalid_arg
+        (Printf.sprintf "Faults.to_update_stream: %s node %d outside [0, %d)"
+           who v n)
+  in
+  List.iter (fun (_, v) -> check_node "crashed" v) spec.crashes;
+  List.iter
+    (fun (_, u, v) ->
+      check_node "severed-link" u;
+      check_node "severed-link" v)
+    spec.link_failures;
+  let dead = Hashtbl.create 64 in
+  (* delete the (u, v) edge unless it is absent or already gone *)
+  let kill u v acc =
+    let key = (min u v, max u v) in
+    if Hashtbl.mem dead key || not (Graph.mem_edge g u v) then acc
+    else begin
+      Hashtbl.add dead key ();
+      key :: acc
+    end
+  in
+  let module Is = Set.Make (Int) in
+  let rounds =
+    Is.elements
+      (List.fold_left
+         (fun s (r, _, _) -> Is.add r s)
+         (List.fold_left (fun s (r, _) -> Is.add r s) Is.empty spec.crashes)
+         spec.link_failures)
+  in
+  List.filter_map
+    (fun round ->
+      let dels = ref [] in
+      List.iter
+        (fun (r, u, v) -> if r = round then dels := kill u v !dels)
+        (List.sort compare spec.link_failures);
+      List.iter
+        (fun (r, node) ->
+          if r = round then
+            Graph.iter_adj g node (fun u _ -> dels := kill node u !dels))
+        (List.sort compare spec.crashes);
+      match List.sort compare !dels with
+      | [] -> None
+      | dels -> Some (round, dels))
+    rounds
+
 let pp ppf spec =
   Format.fprintf ppf "faults(%d crashes, %d link failures, drop %.3f, seed %d)"
     (List.length spec.crashes)

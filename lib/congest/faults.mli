@@ -63,6 +63,20 @@ val random_link_failures :
 val pp : Format.formatter -> spec -> unit
 (** One-line summary: #crashes, #link failures, drop rate, seed. *)
 
+val to_update_stream : Graph.t -> spec -> (int * (int * int) list) list
+(** Reinterpret the permanent failures of a plan as batched edge deletions
+    on [g]: a link failure {e is} an edge deletion, and a crash-stop node
+    failure deletes every edge still incident to the node.  The result is
+    one [(round, deletions)] batch per round that kills at least one edge,
+    in increasing round order; each batch lists its dead edges as canonical
+    [(u, v)] pairs ([u < v]) in ascending order, every graph edge appearing
+    at most once across the whole stream.  Severed pairs that are not edges
+    of [g] are skipped, and [drop_prob] is ignored — probabilistic drops
+    are transient, not topology changes.  This is the bridge that lets any
+    PR 1 fault plan replay through the dynamic-update engine
+    ([Update_stream.of_faults] wraps it).
+    Raises [Invalid_argument] on out-of-range nodes. *)
+
 (** {1 Fault events} *)
 
 type drop_reason =

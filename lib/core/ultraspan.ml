@@ -28,7 +28,16 @@
     - {!Certificate}, {!Spanner_packing} (Theorem G.1), {!Karger_split}
       (Theorem 1.9), {!Thurimella} and {!Nagamochi_ibaraki} (baselines);
       {!Resilience} — empirical failure-set evaluation of certificates and
-      spanners. *)
+      spanners.
+
+    {1 Dynamic graphs}
+
+    - {!Update_stream} — deterministic, replayable batched edge-update
+      streams (seeded generation, fault-plan derivation, versioned text
+      round-trip); {!Repair} — incremental spanner repair with a rebuild
+      fallback and lazy, headroom-based recertification of connectivity
+      certificates, recertified after every batch by the ground-truth
+      checkers. *)
 
 (* Utilities *)
 module Rng = Ultraspan_util.Rng
@@ -88,6 +97,10 @@ module Greedy = Ultraspan_spanner.Greedy
 module Weighted_reduction = Ultraspan_spanner.Weighted_reduction
 module Bs_distributed = Ultraspan_spanner.Bs_distributed
 module Sf_distributed = Ultraspan_spanner.Sf_distributed
+
+(* Dynamic graphs *)
+module Update_stream = Ultraspan_dynamic.Update_stream
+module Repair = Ultraspan_dynamic.Repair
 
 (* Experiment artifacts *)
 module Exp_json = Ultraspan_exp.Json

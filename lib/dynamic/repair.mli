@@ -1,0 +1,155 @@
+open! Import
+
+(** Incremental maintenance of a (2k-1)-spanner and a k-connectivity
+    certificate under batched edge updates — graceful degradation, never a
+    wrong answer.
+
+    {2 Spanner repair}
+
+    The engine keeps the greedy invariant that makes any subgraph [H] a
+    (2k-1)-spanner: for every edge [(x, y, w)] of the current graph,
+    [d_H(x, y) <= (2k-1) * w].  After a batch it restores the invariant
+    locally instead of rebuilding:
+
+    - deletions of non-spanner edges remove an obligation and never create
+      one; deleted spanner edges mark their endpoints {e dirty};
+    - a bound-length witness path that crossed a deleted spanner edge
+      [(a, b, w_ab)] certifies [d(x, a) + w_ab + d(b, y) <= (2k-1) * w] for
+      the edge [(x, y, w)] it served, so one truncated Dijkstra per dirty
+      vertex in the {e old} spanner (radius [(2k-1) * max_w]) is enough to
+      find every edge whose bound may have broken — the {e candidates} —
+      along with all insertions of the batch;
+    - candidates are re-checked in ascending (weight, endpoints) order with
+      early-exit truncated Dijkstras against the current spanner, adding
+      the candidate itself when its bound fails (re-clustering its
+      endpoints into the spanner), which restores the invariant and cannot
+      break any other edge's bound.
+
+    When a batch's damage exceeds the configured threshold
+    ({!config.max_affected}) the engine falls back to a from-scratch
+    {!Bs_derand} rebuild — the degradation is in {e cost}, never in the
+    answer.  Between rebuilds the spanner only grows; rebuilds restore the
+    deterministic size guarantees.
+
+    {2 Lazy recertification}
+
+    The certificate is built with {e headroom}: a request for [ck]-edge-
+    connectivity builds a [(ck + headroom)]-certificate.  Constructions
+    with the strong cut property (every cut keeps all of its edges or at
+    least [ck + headroom] of them) tolerate deletions lazily: after [d]
+    certificate-edge deletions every non-full cut still keeps
+    [>= ck + headroom - d] edges, so while the {e debt} [d] stays at most
+    [headroom] the survivors still certify [ck]-connectivity of the
+    current graph.  Insertions are appended to the certificate (cuts only
+    gain edges); the certificate is rebuilt from scratch only when the
+    debt exceeds the headroom.
+
+    {2 Recertified recovery}
+
+    {!recertify} re-runs the repo's ground-truth checkers on the current
+    state — {!Stretch.check_stretch}, {!Connectivity.spans},
+    {!Certificate.is_certificate} and the {!Resilience} failure-set
+    harness — so recovery is re-proved, not just re-measured. *)
+
+type cert_algo = Thurimella | Kecss
+
+type config = {
+  k : int;  (** spanner parameter: stretch bound 2k-1 *)
+  mode : [ `Incremental | `Rebuild ];
+      (** [`Rebuild] reconstructs from scratch every batch (the engine
+          differential baselines compare against). *)
+  cert : (cert_algo * int) option;
+      (** maintain a certificate of [ck]-edge-connectivity, or [None] *)
+  headroom : int;  (** extra connectivity built into the certificate *)
+  max_affected : float;
+      (** fall back to a rebuild when the batch deletes more than
+          [max_affected * spanner_size] spanner edges or yields more than
+          [max_affected * m] candidates *)
+  jobs : int;  (** domain-pool width for the verification kernels *)
+}
+
+val defaults : k:int -> config
+(** [`Incremental], no certificate, [headroom = k], [max_affected = 0.25],
+    [jobs = Parallel.default_jobs ()].  Override fields with record update
+    syntax.  Raises [Invalid_argument] if [k < 1]. *)
+
+type outcome = {
+  batch : int;  (** 1-based index of the batch in this engine's life *)
+  inserts : int;
+  deletes : int;
+  action : [ `Repair | `Rebuild ];
+  dirty : int;  (** endpoints of deleted spanner edges *)
+  candidates : int;  (** edges whose stretch bound was re-checked *)
+  added : int;  (** spanner edges added *)
+  removed : int;  (** spanner edges lost to deletions *)
+  work : int;
+      (** deterministic cost of this batch on the repair path: edge
+          relaxations of every Dijkstra, ball marking, one membership
+          pass over the edge list and the ball-restricted detour checks
+          of the candidate filter; the {!field-rebuild_work} proxy when
+          the batch rebuilt *)
+  rebuild_work : int;
+      (** what a from-scratch rebuild costs under the documented
+          lower-bound proxy [(k+1) * m + n] — [k-1] derandomized
+          iterations plus the finishing iteration each touch every alive
+          edge at least once.  Comparing [work] against it is therefore
+          conservative in the rebuild's favour. *)
+  cert_removed : int;  (** certificate edges lost to deletions *)
+  cert_debt : int;  (** deletion debt after the batch *)
+  cert_rebuilt : bool;
+}
+
+type verdicts = {
+  stretch : float;  (** exact max edge stretch of the current state *)
+  stretch_ok : bool;  (** {!Stretch.check_stretch} at alpha = 2k-1 *)
+  spanning : bool;  (** {!Connectivity.spans}: skeleton property *)
+  cert_ok : bool option;
+      (** {!Certificate.is_certificate} at the requested [ck] *)
+  cert_violations : int option;
+      (** violations found by {!Resilience.check_certificate} *)
+}
+
+type t
+
+val create : config -> Graph.t -> t
+(** Build the initial spanner (and certificate, if configured) on [g].
+    Raises [Invalid_argument] on a malformed config. *)
+
+val config : t -> config
+
+val graph : t -> Graph.t
+(** The current graph (edge ids are renumbered after every batch). *)
+
+val spanner : t -> bool array
+(** Edge mask over {!graph}. *)
+
+val spanner_size : t -> int
+
+val certificate : t -> Certificate.t option
+(** The maintained certificate at the {e requested} connectivity [ck] (the
+    headroom is an implementation margin, not a claim). *)
+
+val certificate_size : t -> int
+(** [0] when no certificate is maintained. *)
+
+val cert_debt : t -> int
+
+val apply_batch : t -> Update_stream.batch -> outcome
+(** Apply one batch strictly (the ops contract of {!Update_stream.apply};
+    [Failure] on an invalid op leaves the engine unchanged) and repair or
+    rebuild the structures. *)
+
+val apply_stream : t -> Update_stream.t -> outcome list
+
+val recertify : ?rng:Rng.t -> ?budget:int -> t -> verdicts
+(** Ground-truth verification of the current state ([budget] caps the
+    Resilience failure sets sampled, default 200).  Pure: the engine is
+    not modified. *)
+
+val copy : t -> t
+(** Independent deep copy (shares only immutable data).  Lets harnesses
+    replay batches from a common initial state. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_verdicts : Format.formatter -> verdicts -> unit

@@ -11,6 +11,7 @@ let () =
       ("spanner", Test_spanner.suite);
       ("certificate", Test_certificate.suite);
       ("resilience", Test_resilience.suite);
+      ("dynamic", Test_dynamic.suite);
       ("extensions", Test_extensions.suite);
       ("misc", Test_misc.suite);
       ("artifacts", Test_artifacts.suite);

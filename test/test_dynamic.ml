@@ -1,0 +1,330 @@
+open Ultraspan
+open Helpers
+
+(* ---------- stream format ---------- *)
+
+let stream_of_seed ?(batches = 4) ?(ops = 6) ?insert_frac g seed =
+  Update_stream.generate
+    ~rng:(Rng.create (succ (abs seed)))
+    ~batches ~ops ?insert_frac g
+
+let round_trip_is_identity =
+  qcheck "stream: text round-trip is the identity" seed_gen (fun seed ->
+      let g = graph_of_seed ~n_max:40 seed in
+      let s = stream_of_seed g seed in
+      let txt = Update_stream.to_string s in
+      Update_stream.of_string txt = s
+      && Update_stream.to_string (Update_stream.of_string txt) = txt)
+
+let generation_is_deterministic =
+  qcheck "stream: same seed, same bytes" seed_gen (fun seed ->
+      let g = graph_of_seed ~n_max:40 seed in
+      Update_stream.to_string (stream_of_seed g seed)
+      = Update_stream.to_string (stream_of_seed g seed))
+
+let generated_streams_replay =
+  qcheck "stream: generated streams apply cleanly" seed_gen (fun seed ->
+      let g = graph_of_seed ~n_max:40 seed in
+      let s = stream_of_seed ~insert_frac:0.3 g seed in
+      ignore (Update_stream.apply_all g s);
+      true)
+
+let parse_failure input =
+  match Update_stream.of_string input with
+  | exception Failure msg ->
+      String.length msg >= 13 && String.sub msg 0 13 = "Update_stream"
+  | _ -> false
+
+let rejects_malformed () =
+  List.iter
+    (fun (name, input) ->
+      Alcotest.(check bool) name true (parse_failure input))
+    [
+      ("empty", "");
+      ("bad header", "garbage header\n");
+      ("wrong schema", "ultraspan-stream/9 0 0\n");
+      ("missing batch", "ultraspan-stream/1 0 2\nbatch 0\n");
+      ("truncated batch", "ultraspan-stream/1 0 1\nbatch 3\n- 0 1\n");
+      ("trailing garbage", "ultraspan-stream/1 0 0\nbatch 0\n");
+      ("bad op", "ultraspan-stream/1 0 1\nbatch 1\n* 1 2\n");
+      ("self-loop", "ultraspan-stream/1 0 1\nbatch 1\n+ 2 2 1\n");
+      ("zero weight", "ultraspan-stream/1 0 1\nbatch 1\n+ 1 2 0\n");
+      ("short batch", "ultraspan-stream/1 0 2\nbatch 2\n- 0 1\nbatch 0\n");
+    ]
+
+let comments_and_blanks_ignored () =
+  let s =
+    Update_stream.of_string
+      "# a comment\nultraspan-stream/1 9 1\n\nbatch 2\n# inside\n+ 0 4 2\n- 1 2\n"
+  in
+  Alcotest.(check int) "seed" 9 s.Update_stream.seed;
+  Alcotest.(check int) "ops" 2 (Update_stream.op_count s);
+  Alcotest.(check int) "inserts" 1 (Update_stream.insert_count s)
+
+let apply_is_strict () =
+  let g = Generators.cycle 5 in
+  let fails batch =
+    match Update_stream.apply g batch with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "delete absent" true
+    (fails [ Update_stream.delete 0 2 ]);
+  Alcotest.(check bool) "insert existing" true
+    (fails [ Update_stream.insert 0 1 1 ]);
+  Alcotest.(check bool) "out of range" true
+    (fails [ Update_stream.insert 0 9 1 ]);
+  (* sequential semantics: delete then re-insert is legal *)
+  let g' =
+    Update_stream.apply g
+      [ Update_stream.delete 0 1; Update_stream.insert 0 1 7 ]
+  in
+  Alcotest.(check int) "m unchanged" 5 (Graph.m g');
+  match Graph.find_edge g' 0 1 with
+  | Some eid -> Alcotest.(check int) "new weight" 7 (Graph.weight g' eid)
+  | None -> Alcotest.fail "edge 0-1 missing after re-insert"
+
+(* ---------- fault-plan derivation ---------- *)
+
+let faults_become_deletions () =
+  let g = Generators.cycle 6 in
+  let plan = Faults.sever ~round:1 1 0 (Faults.sever ~round:0 2 3 Faults.empty) in
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "round-grouped deletions"
+    [ (0, [ (2, 3) ]); (1, [ (0, 1) ]) ]
+    (Faults.to_update_stream g plan);
+  let s = Update_stream.of_faults g plan in
+  Alcotest.(check int) "two batches" 2 (Update_stream.batch_count s);
+  Alcotest.(check int) "deletions only" 2 (Update_stream.delete_count s)
+
+let crash_kills_incident_edges () =
+  let g = Generators.cycle 6 in
+  let plan = Faults.crash ~round:0 0 Faults.empty in
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "both incident edges die"
+    [ (0, [ (0, 1); (0, 5) ]) ]
+    (Faults.to_update_stream g plan)
+
+let fault_stream_dedupes () =
+  let g = Generators.cycle 6 in
+  let plan =
+    Faults.sever ~round:2 0 1
+      (Faults.crash ~round:0 0 (Faults.sever ~round:0 3 5 Faults.empty))
+  in
+  (* 3-5 is not an edge; 0-1 already died with the crash at round 0 *)
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "non-edges skipped, repeats dropped"
+    [ (0, [ (0, 1); (0, 5) ]) ]
+    (Faults.to_update_stream g plan)
+
+(* ---------- repair engine ---------- *)
+
+let graph_bytes g = Graph_io.to_string g
+
+(* The differential heart of the suite: the incremental engine and the
+   rebuild-from-scratch engine must agree on every verdict after every
+   batch, and both must keep the stretch bound. *)
+let repair_matches_rebuild =
+  qcheck ~count:12 "repair == rebuild: same graph, same verdicts, bound kept"
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let k = 2 + Rng.int rng 2 in
+      let g = unit_graph_of_seed ~n_max:36 seed in
+      let s = stream_of_seed ~batches:3 ~ops:5 g (succ seed) in
+      let cfg = Repair.defaults ~k in
+      let inc = Repair.create cfg g in
+      let reb = Repair.create { cfg with Repair.mode = `Rebuild } g in
+      List.for_all
+        (fun b ->
+          let _oi = Repair.apply_batch inc b in
+          let orr = Repair.apply_batch reb b in
+          let vi = Repair.recertify inc and vr = Repair.recertify reb in
+          graph_bytes (Repair.graph inc) = graph_bytes (Repair.graph reb)
+          && orr.Repair.action = `Rebuild
+          && vi.Repair.stretch_ok && vr.Repair.stretch_ok
+          && vi.Repair.spanning = vr.Repair.spanning)
+        s.Update_stream.batches)
+
+let engine_graph_matches_apply_all =
+  qcheck ~count:15 "engine graph == Update_stream.apply_all" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~n_max:40 seed in
+      let s = stream_of_seed g seed in
+      let eng = Repair.create (Repair.defaults ~k:2) g in
+      ignore (Repair.apply_stream eng s);
+      graph_bytes (Repair.graph eng) = graph_bytes (Update_stream.apply_all g s))
+
+let weighted_streams_keep_bound =
+  qcheck ~count:10 "weighted graphs: stretch bound survives batches" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~n_max:32 seed in
+      let s = stream_of_seed ~batches:2 ~ops:4 g seed in
+      let eng = Repair.create (Repair.defaults ~k:3) g in
+      List.for_all
+        (fun b ->
+          ignore (Repair.apply_batch eng b);
+          (Repair.recertify eng).Repair.stretch_ok)
+        s.Update_stream.batches)
+
+let replay_is_bit_identical () =
+  let g = unit_graph_of_seed 11 in
+  let s = stream_of_seed ~batches:4 ~ops:8 g 11 in
+  let run () =
+    let eng = Repair.create (Repair.defaults ~k:3) g in
+    let outs = Repair.apply_stream eng s in
+    (outs, graph_bytes (Repair.graph eng), Repair.spanner eng)
+  in
+  Alcotest.(check bool) "two replays, same outcomes/graph/spanner" true
+    (run () = run ())
+
+let copy_is_independent () =
+  let g = unit_graph_of_seed 5 in
+  let s = stream_of_seed ~batches:2 ~ops:6 g 5 in
+  let eng = Repair.create (Repair.defaults ~k:2) g in
+  let snapshot = Repair.copy eng in
+  let before = graph_bytes (Repair.graph snapshot) in
+  ignore (Repair.apply_stream eng s);
+  Alcotest.(check string) "copy untouched by the original's batches" before
+    (graph_bytes (Repair.graph snapshot));
+  ignore (Repair.apply_stream snapshot s);
+  Alcotest.(check string) "copy replays to the same graph"
+    (graph_bytes (Repair.graph eng))
+    (graph_bytes (Repair.graph snapshot))
+
+let bad_batch_leaves_engine_unchanged () =
+  let g = Generators.cycle 8 in
+  let eng = Repair.create (Repair.defaults ~k:2) g in
+  let before = graph_bytes (Repair.graph eng) in
+  (match
+     Repair.apply_batch eng
+       [ Update_stream.delete 0 1; Update_stream.delete 0 1 ]
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "double delete must raise");
+  Alcotest.(check string) "graph unchanged" before
+    (graph_bytes (Repair.graph eng));
+  Alcotest.(check int) "no batch counted" 1
+    (Repair.apply_batch eng [ Update_stream.delete 0 1 ]).Repair.batch
+
+(* ---------- lazy recertification ---------- *)
+
+let cert_edge_of eng =
+  (* some certificate edge of the current graph, as an op *)
+  match Repair.certificate eng with
+  | None -> Alcotest.fail "engine maintains no certificate"
+  | Some c ->
+      let g = Repair.graph eng in
+      let found = ref None in
+      Graph.iter_edges g (fun e ->
+          if !found = None && c.Certificate.keep.(e.Graph.id) then
+            found := Some (Update_stream.delete e.Graph.u e.Graph.v));
+      (match !found with
+      | Some op -> op
+      | None -> Alcotest.fail "certificate is empty")
+
+let debt_triggers_cert_rebuild () =
+  let g = k_connected_graph ~n:24 ~k:5 17 in
+  let cfg =
+    { (Repair.defaults ~k:2) with
+      Repair.cert = Some (Repair.Thurimella, 2);
+      headroom = 1;
+    }
+  in
+  let eng = Repair.create cfg g in
+  let rebuilds = ref 0 and max_debt = ref 0 in
+  for _ = 1 to 6 do
+    let o = Repair.apply_batch eng [ cert_edge_of eng ] in
+    if o.Repair.cert_rebuilt then incr rebuilds;
+    max_debt := max !max_debt o.Repair.cert_debt;
+    let v = Repair.recertify ~rng:(Rng.create 3) ~budget:60 eng in
+    Alcotest.(check (option bool)) "still a certificate" (Some true)
+      v.Repair.cert_ok;
+    Alcotest.(check (option int)) "no failure-set violations" (Some 0)
+      v.Repair.cert_violations
+  done;
+  Alcotest.(check bool) "debt crossed the headroom at least once" true
+    (!rebuilds >= 1);
+  Alcotest.(check bool) "debt never exceeds headroom after a batch" true
+    (!max_debt <= 1)
+
+let cert_preserved_under_streams =
+  qcheck ~count:8 "certificate k-connectivity preserved on random streams"
+    seed_gen (fun seed ->
+      let g = k_connected_graph ~n:24 ~k:4 seed in
+      let cfg =
+        { (Repair.defaults ~k:2) with Repair.cert = Some (Repair.Thurimella, 2) }
+      in
+      let eng = Repair.create cfg g in
+      let s = stream_of_seed ~batches:3 ~ops:4 ~insert_frac:0.4 g seed in
+      List.for_all
+        (fun b ->
+          ignore (Repair.apply_batch eng b);
+          let v = Repair.recertify ~rng:(Rng.create seed) ~budget:40 eng in
+          v.Repair.cert_ok = Some true && v.Repair.cert_violations = Some 0)
+        s.Update_stream.batches)
+
+(* at least one PR 1 fault plan replayed through the engine, recertified *)
+let fault_plan_replays_recertified () =
+  let g = k_connected_graph ~n:30 ~k:4 3 in
+  let plan =
+    Faults.random_link_failures
+      ~rng:(Rng.create 1)
+      g ~within:3 ~count:5 Faults.empty
+  in
+  let s = Update_stream.of_faults g plan in
+  Alcotest.(check bool) "plan produced deletions" true
+    (Update_stream.delete_count s = 5);
+  let cfg =
+    { (Repair.defaults ~k:2) with Repair.cert = Some (Repair.Thurimella, 2) }
+  in
+  let eng = Repair.create cfg g in
+  List.iter
+    (fun b ->
+      ignore (Repair.apply_batch eng b);
+      let v = Repair.recertify ~rng:(Rng.create 9) ~budget:80 eng in
+      Alcotest.(check bool) "stretch recertified" true v.Repair.stretch_ok;
+      Alcotest.(check bool) "spanning" true v.Repair.spanning;
+      Alcotest.(check (option bool)) "certificate recertified" (Some true)
+        v.Repair.cert_ok)
+    s.Update_stream.batches
+
+let kecss_cert_degrades_gracefully () =
+  (* deletions sink the graph below the KECSS precondition: the engine must
+     fall back (Thurimella) rather than fail, and stay certified *)
+  let g = k_connected_graph ~n:20 ~k:3 7 in
+  let cfg =
+    { (Repair.defaults ~k:2) with
+      Repair.cert = Some (Repair.Kecss, 2);
+      headroom = 0;
+    }
+  in
+  let eng = Repair.create cfg g in
+  for _ = 1 to 4 do
+    ignore (Repair.apply_batch eng [ cert_edge_of eng ]);
+    let v = Repair.recertify ~rng:(Rng.create 3) ~budget:40 eng in
+    Alcotest.(check (option bool)) "still certified" (Some true) v.Repair.cert_ok
+  done
+
+let suite =
+  [
+    round_trip_is_identity;
+    generation_is_deterministic;
+    generated_streams_replay;
+    case "stream: rejects malformed input" rejects_malformed;
+    case "stream: comments and blanks ignored" comments_and_blanks_ignored;
+    case "stream: strict apply" apply_is_strict;
+    case "faults: link failures become deletions" faults_become_deletions;
+    case "faults: crash kills incident edges" crash_kills_incident_edges;
+    case "faults: dedupe and non-edges" fault_stream_dedupes;
+    repair_matches_rebuild;
+    engine_graph_matches_apply_all;
+    weighted_streams_keep_bound;
+    case "repair: replay is bit-identical" replay_is_bit_identical;
+    case "repair: copy is independent" copy_is_independent;
+    case "repair: bad batch leaves engine unchanged"
+      bad_batch_leaves_engine_unchanged;
+    case "cert: debt > headroom triggers rebuild" debt_triggers_cert_rebuild;
+    cert_preserved_under_streams;
+    case "cert: fault plan replays recertified" fault_plan_replays_recertified;
+    slow_case "cert: kecss degrades gracefully" kecss_cert_degrades_gracefully;
+  ]
