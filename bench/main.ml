@@ -29,6 +29,11 @@ let fmt = Printf.printf
 
 let jobs = ref (Parallel.default_jobs ())
 
+(* The harness-level metrics registry (--metrics FILE).  Tables that
+   temporarily attach their own registry to the domain pool (O2) restore
+   this one afterwards. *)
+let global_metrics : Metrics.t option ref = ref None
+
 (* Parallel List.map/mapi over independent table sections or rows.  The
    results come back in list order and every builder seeds its own RNGs,
    so the tables — and hence the JSON artifacts — are identical for every
@@ -60,14 +65,30 @@ module Gcache = struct
   let hits = ref 0
   let misses = ref 0
 
+  (* Registry handles for the harness --metrics snapshot.  [find] may run
+     on worker domains, but every update happens under [lock], which
+     provides the synchronization the Metrics hot path does not.  The
+     totals are a function of the table selection alone (first access per
+     key misses, the rest hit), so they live outside [timing.*]. *)
+  let m_hits = ref (Metrics.counter Metrics.disabled "bench.gcache.hits_total")
+
+  let m_misses =
+    ref (Metrics.counter Metrics.disabled "bench.gcache.misses_total")
+
+  let set_metrics reg =
+    m_hits := Metrics.counter reg "bench.gcache.hits_total";
+    m_misses := Metrics.counter reg "bench.gcache.misses_total"
+
   let find key build =
     Mutex.protect lock (fun () ->
         match Hashtbl.find_opt tbl key with
         | Some g ->
             incr hits;
+            Metrics.incr !m_hits;
             g
         | None ->
             incr misses;
+            Metrics.incr !m_misses;
             let g = build () in
             Hashtbl.add tbl key g;
             Queue.add key order;
@@ -1781,6 +1802,308 @@ let table_o1 ~quick () =
     @ [ digest_section; prof_section ])
 
 (* ------------------------------------------------------------------ *)
+(* O2 — efficiency metrics from the unified metrics plane               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every row is read out of a fresh Metrics registry attached to exactly
+   one instrumented run, so the table doubles as an end-to-end exercise of
+   the metrics plane: the engine section checks Fast and Ref agree on
+   every deterministic metric (byte-identical stripped expositions), the
+   pool section checks the parallel counters are jobs-invariant, the
+   repair section cross-checks the dynamic.repair.* counters against the
+   engine's own outcome records, and the cache section demonstrates the
+   miss-then-hit discipline of the generator cache.  The only wall-clock
+   cell is pool utilization (a Time field, tolerance-banded in diffs);
+   everything else is exact, so the artifact is byte-identical for every
+   --jobs value.  Sequential on purpose: the pool section re-attaches the
+   registry behind the harness's back and must not race a pmap. *)
+let table_o2 ~quick () =
+  let sizes = if quick then [ 128; 256 ] else [ 256; 1024; 4096 ] in
+  let cnt s name = Option.value ~default:0 (Metrics.find_counter s name) in
+  (* --- congest engines: deterministic message-plane efficiency --- *)
+  let ecols =
+    [
+      T.col ~w:6 "n";
+      T.col ~align:`L ~w:6 "engine";
+      T.col ~w:10 "delivered";
+      T.col ~w:7 "rounds";
+      T.col ~w:9 ~render:(fun v -> Printf.sprintf "%.4f" (T.to_float v))
+        "msgs/arc/rnd";
+      T.col ~w:9 "payload";
+      T.col ~w:7 "max own";
+    ]
+  in
+  let engine_rows =
+    List.concat_map
+      (fun n ->
+        let g = Gcache.gnp ~seed:67 ~n ~avg_degree:8.0 in
+        let arcs = 2 * Graph.m g in
+        let witness engine =
+          let reg = Metrics.create () in
+          let _ = Programs.bfs ~metrics:reg ~engine g ~root:0 in
+          Metrics.snapshot reg
+        in
+        let sf = witness `Fast and sr = witness `Ref in
+        let agree =
+          Metrics.exposition (Metrics.strip_timing sf)
+          = Metrics.exposition (Metrics.strip_timing sr)
+        in
+        let row engine s =
+          let d = cnt s "congest.deliveries_total" in
+          let r = cnt s "congest.rounds_total" in
+          T.row
+            ~bounds:
+              [
+                T.flag
+                  ~id:(Printf.sprintf "o2-engines-agree-n%d" n)
+                  ~descr:
+                    "Fast and Ref snapshots are byte-identical outside \
+                     timing.*"
+                  agree;
+                T.ge
+                  ~id:(Printf.sprintf "o2-bfs-floods-n%d-%s" n engine)
+                  ~descr:"a BFS flood delivers at least one message per edge"
+                  (fi d) (fi (Graph.m g));
+              ]
+            [
+              ("n", T.Int n);
+              ("engine", T.Str engine);
+              ("delivered", T.Int d);
+              ("rounds", T.Int r);
+              ( "msgs/arc/rnd",
+                T.Float (fi d /. (fi arcs *. fi (max 1 r))) );
+              ("payload", T.Int (cnt s "congest.payload_words_total"));
+              ( "max own",
+                T.Int
+                  (Option.value ~default:0
+                     (Metrics.find_gauge s "congest.max_payload_words")) );
+            ]
+        in
+        [ row "fast" sf; row "ref" sr ])
+      sizes
+  in
+  let engine_section =
+    T.section
+      ~caption:
+        [
+          "";
+          "BFS flood per engine, read from congest.* counters; msgs/arc/rnd \
+           is the per-arc";
+          "per-round load (efficiency of the message plane, not of the \
+           algorithm).";
+        ]
+      ~cols:ecols "engines" engine_rows
+  in
+  (* --- domain pool: jobs-invariant counters, measured utilization --- *)
+  let pn = if quick then 256 else 512 in
+  let pg = Gcache.wgnp ~seed:71 ~n:pn ~avg_degree:8.0 ~max_w:1000 in
+  let pkeep = (Bs_derand.run ~k:2 pg).Bs_derand.spanner.Spanner.keep in
+  let pool_witness j =
+    (* untimed warm-up: worker spawn cost must not land inside the
+       measured section, or the utilization cell picks up a cold-start
+       outlier that blows the Time tolerance band of the golden differ *)
+    ignore (Stretch.max_edge_stretch ~jobs:j pg pkeep);
+    let reg = Metrics.create () in
+    Parallel.set_metrics (Some reg);
+    Fun.protect
+      ~finally:(fun () -> Parallel.set_metrics !global_metrics)
+      (fun () -> ignore (Stretch.max_edge_stretch ~jobs:j pg pkeep));
+    Metrics.snapshot reg
+  in
+  let pool_jobs = [ 1; 4 ] in
+  let pool_snaps = List.map (fun j -> (j, pool_witness j)) pool_jobs in
+  let pool_invariant =
+    match pool_snaps with
+    | (_, s0) :: rest ->
+        let e0 = Metrics.exposition (Metrics.strip_timing s0) in
+        List.for_all
+          (fun (_, s) -> Metrics.exposition (Metrics.strip_timing s) = e0)
+          rest
+    | [] -> true
+  in
+  let pcols =
+    [
+      T.col ~w:5 "jobs";
+      T.col ~w:9 "sections";
+      T.col ~w:8 "chunks";
+      T.col ~w:8 "items";
+      T.col ~w:11 ~render:(fun v -> Printf.sprintf "%.0f%%" (100.0 *. T.to_float v))
+        "utilization";
+    ]
+  in
+  let pool_rows =
+    List.map
+      (fun (j, s) ->
+        let tsec name =
+          match Metrics.find_timer s name with
+          | Some d -> d.Metrics.tseconds
+          | None -> 0.0
+        in
+        let run = tsec "timing.parallel.pool.chunk_run" in
+        let cap = tsec "timing.parallel.pool.job_capacity" in
+        let util = if cap > 0.0 then run /. cap else 0.0 in
+        T.row
+          ~bounds:
+            [
+              T.flag ~id:(Printf.sprintf "o2-pool-jobs-invariant-j%d" j)
+                ~descr:
+                  "parallel.* counters are byte-identical for every job count"
+                pool_invariant;
+            ]
+          [
+            ("jobs", T.Int j);
+            ("sections", T.Int (cnt s "parallel.sections_total"));
+            ("chunks", T.Int (cnt s "parallel.chunks_total"));
+            ("items", T.Int (cnt s "parallel.items_total"));
+            ("utilization", T.Time util);
+          ])
+      pool_snaps
+  in
+  let pool_section =
+    T.section
+      ~caption:
+        [
+          "";
+          Printf.sprintf
+            "exact stretch verification (n=%d) under the domain pool; \
+             utilization ="
+            pn;
+          "chunk_run / job_capacity (wall-clock, tolerance-banded; the \
+           counters are exact).";
+        ]
+      ~cols:pcols "pool" pool_rows
+  in
+  (* --- self-healing engine: metrics vs the engine's own ledger --- *)
+  let rg = Gcache.torus 12 in
+  let stream =
+    Update_stream.generate ~rng:(Rng.create 79) ~batches:4 ~ops:6
+      ~insert_frac:0.5 ~max_w:1 rg
+  in
+  let rreg = Metrics.create () in
+  let eng = Repair.create ~metrics:rreg (Repair.defaults ~k:2) rg in
+  let outcomes = Repair.apply_stream eng stream in
+  let rs = Metrics.snapshot rreg in
+  let osum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
+  let rcols =
+    [
+      T.col ~w:8 "batches";
+      T.col ~w:8 "repairs";
+      T.col ~w:9 "rebuilds";
+      T.col ~w:11 "candidates";
+      T.col ~w:9 "filtered";
+      T.col ~w:9 "work";
+      T.col ~w:5 "debt";
+    ]
+  in
+  let repair_rows =
+    [
+      T.row
+        ~bounds:
+          [
+            T.flag ~id:"o2-repair-batches-ledger"
+              ~descr:
+                "dynamic.repair.batches_total equals the outcome count"
+              (cnt rs "dynamic.repair.batches_total" = List.length outcomes);
+            T.flag ~id:"o2-repair-work-ledger"
+              ~descr:
+                "dynamic.repair.work_total equals the summed outcome work"
+              (cnt rs "dynamic.repair.work_total"
+              = osum (fun o -> o.Repair.work));
+            T.flag ~id:"o2-repair-debt-ledger"
+              ~descr:"the recert_debt gauge tracks the engine's debt"
+              (Metrics.find_gauge rs "dynamic.repair.recert_debt"
+              = Some (Repair.cert_debt eng));
+          ]
+        [
+          ("batches", T.Int (cnt rs "dynamic.repair.batches_total"));
+          ("repairs", T.Int (cnt rs "dynamic.repair.repairs_total"));
+          ("rebuilds", T.Int (cnt rs "dynamic.repair.rebuilds_total"));
+          ("candidates", T.Int (cnt rs "dynamic.repair.candidates_total"));
+          ("filtered", T.Int (cnt rs "dynamic.repair.candidates_filtered"));
+          ("work", T.Int (cnt rs "dynamic.repair.work_total"));
+          ( "debt",
+            T.Int
+              (Option.value ~default:0
+                 (Metrics.find_gauge rs "dynamic.repair.recert_debt")) );
+        ];
+    ]
+  in
+  let repair_section =
+    T.section
+      ~caption:
+        [
+          "";
+          "seeded update stream (torus 12x12, 4 batches x 6 ops) through the \
+           repair engine;";
+          "every dynamic.repair.* metric is cross-checked against the \
+           engine's outcome records.";
+        ]
+      ~cols:rcols "repair" repair_rows
+  in
+  (* --- generator cache: miss-then-hit discipline --- *)
+  let m0 = !Gcache.misses in
+  let _ = Gcache.geometric ~seed:73 ~n:200 ~radius:0.12 in
+  let h1 = !Gcache.hits and m1 = !Gcache.misses in
+  let _ = Gcache.geometric ~seed:73 ~n:200 ~radius:0.12 in
+  let h2 = !Gcache.hits and m2 = !Gcache.misses in
+  let cache_rows =
+    [
+      T.row
+        ~bounds:
+          [
+            T.flag ~id:"o2-cache-first-misses"
+              ~descr:"first access to a fresh key misses" (m1 - m0 = 1);
+            T.flag ~id:"o2-cache-then-hits"
+              ~descr:"repeat access hits without rebuilding"
+              (h2 - h1 = 1 && m2 - m1 = 0);
+          ]
+        [
+          ("access", T.Str "first/second");
+          ("miss delta", T.Int (m1 - m0));
+          ("hit delta", T.Int (h2 - h1));
+        ];
+    ]
+  in
+  let cache_section =
+    T.section
+      ~caption:
+        [
+          "";
+          "generator cache (bench.gcache.* counters): a fresh O2-only key \
+           misses once, then hits.";
+        ]
+      ~rule:false
+      ~cols:
+        [
+          T.col ~align:`L ~w:14 "access";
+          T.col ~w:11 "miss delta";
+          T.col ~w:10 "hit delta";
+        ]
+      "cache" cache_rows
+  in
+  T.make ~id:"o2"
+    ~title:
+      "O2: efficiency metrics from the unified metrics plane — message-plane \
+       load per\n\
+       engine, jobs-invariant pool counters with measured utilization, \
+       repair-engine\n\
+       ledger cross-checks and generator-cache discipline"
+    ~params:
+      [
+        ("quick", T.Bool quick);
+        ("sizes", T.Str (String.concat "," (List.map string_of_int sizes)));
+      ]
+    ~notes:
+      [
+        "";
+        "every counter outside timing.* is byte-identical across engines \
+         and --jobs (gated";
+        "here and by test/test_metrics.ml); utilization is the only \
+         wall-clock cell.";
+      ]
+    [ engine_section; pool_section; repair_section; cache_section ]
+
+(* ------------------------------------------------------------------ *)
 (* D1 — self-healing: batched update streams, incremental repair vs    *)
 (* from-scratch rebuild, recertified recovery                           *)
 (* ------------------------------------------------------------------ *)
@@ -2167,16 +2490,17 @@ let all_tables =
     ("f1", fig1); ("t5", table5); ("t6", table6); ("t7", table7);
     ("t8", table8); ("t9", table9); ("r1", table_r1);
     ("a1", ablation_derand); ("a2", ablation_merge); ("o1", table_o1);
-    ("d1", table_d1);
+    ("o2", table_o2); ("d1", table_d1);
   ]
 
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--all] [--table ID]... [--strict]\n\
     \                [--artifacts DIR] [--against DIR] [--tolerance PCT]\n\
-    \                [--refresh-goldens] [--jobs N | -j N] [--bechamel]\n\
-     tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 d1 (and xfail, the \
-     negative control)"
+    \                [--refresh-goldens] [--jobs N | -j N] [--metrics FILE]\n\
+    \                [--bechamel]\n\
+     tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 o2 d1 (and xfail, \
+     the negative control)"
 
 let die fmtstr =
   Printf.ksprintf
@@ -2195,6 +2519,7 @@ let () =
   and artifacts_dir = ref "artifacts"
   and against = ref None
   and tolerance = ref 75.0
+  and metrics_file = ref None
   and tables = ref [] in
   let rec parse = function
     | [] -> ()
@@ -2206,6 +2531,7 @@ let () =
     | "--table" :: id :: r -> tables := !tables @ [ id ]; parse r
     | "--artifacts" :: d :: r -> artifacts_dir := d; parse r
     | "--against" :: d :: r -> against := Some d; parse r
+    | "--metrics" :: f :: r -> metrics_file := Some f; parse r
     | "--tolerance" :: p :: r ->
         (match float_of_string_opt p with
         | Some v when v >= 0.0 -> tolerance := v
@@ -2217,11 +2543,18 @@ let () =
         | _ -> die "--jobs expects a positive integer, got %S" v);
         parse r
     | [ (("--table" | "--artifacts" | "--against" | "--tolerance" | "--jobs"
-        | "-j") as f) ] ->
+        | "-j" | "--metrics") as f) ] ->
         die "%s needs an argument" f
     | a :: _ -> die "unknown argument %S" a
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !metrics_file with
+  | None -> ()
+  | Some _ ->
+      let reg = Metrics.create () in
+      global_metrics := Some reg;
+      Parallel.set_metrics (Some reg);
+      Gcache.set_metrics reg);
   if !bech then bechamel_suite ()
   else begin
     let registry = all_tables @ [ ("xfail", xfail) ] in
@@ -2282,6 +2615,12 @@ let () =
         fmt "[against %s: %d diff(s), %d missing artifact(s)]\n" dir !diffs
           !missing
     | None -> fmt "[wrote %d artifact(s) to %s]\n" !written !artifacts_dir);
+    (match (!metrics_file, !global_metrics) with
+    | Some path, Some reg ->
+        Parallel.set_metrics None;
+        Metrics_io.save_registry path reg;
+        fmt "[wrote metrics snapshot to %s]\n" path
+    | _ -> ());
     let fail_strict = !strict_mode && !viols > 0 in
     let fail_diff = !diffs > 0 || !missing > 0 in
     if fail_strict || fail_diff then exit 1

@@ -13,13 +13,31 @@
      incremental repair engine vs the rebuild-every-batch baseline
      (dynamic:repair/dynamic:rebuild), measured in updates per second.
 
-   Results are written as JSON (schema ultraspan-perf/3, default
+   Efficiency metrics (schema v4): dedicated instrumented runs through the
+   unified metrics plane record how well the machinery is used, not just
+   how fast it goes —
+   - messages/arc/round and arena waste of the Fast engine's slot arena
+     (both deterministic: pure functions of the flood workload);
+   - pool utilization of the parallel stretch kernel (chunk_run seconds /
+     job_capacity seconds — wall-clock, but a ratio of co-measured clocks,
+     so it transfers across machines far better than ns/run).
+   The run fails (exit 1) when pool utilization drops below the floor or
+   arena waste rises above the ceiling; --min-pool-utilization and
+   --max-arena-waste override the defaults, and --gate-efficiency FILE
+   re-checks a recorded artifact against the floors without re-running
+   (the instant negative control: --min-pool-utilization 1.5 must fail,
+   utilization can never exceed 1).
+
+   Results are written as JSON (schema ultraspan-perf/4, default
    [BENCH_congest.json]) so future PRs can diff against the recorded
-   baseline; v1/v2 baselines (no parallel/dynamic sections) still load.
+   baseline; v1-v3 baselines (no parallel/dynamic/efficiency sections)
+   still load.
 
    Usage:
      perf [--quick] [--jobs N] [-o FILE]   run the suite, write FILE
      perf --validate FILE            check FILE parses and each suite ran
+     perf --gate-efficiency FILE [--min-pool-utilization X]
+          [--max-arena-waste X]     gate a recorded artifact's efficiency
      perf [--quick] --against FILE [--tolerance PCT] [--suites]
         rerun the suite and gate on the recorded baseline: the fast-vs-ref
         message-plane speedup must stay within PCT percent of the baseline
@@ -265,6 +283,125 @@ let dynamic_rows ~quick =
   in
   [ best fst; best snd ]
 
+(* ------------------------------------------------------------------ *)
+(* efficiency metrics (the unified metrics plane, EXPERIMENTS.md §O2)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Floors a healthy build clears with margin on any machine: utilization
+   of the 4-job stretch kernel is ~0.2 even on one core (compute time ~
+   wall-clock there) and rises with real cores; flood arena waste is
+   1 - 1/word_limit = 0.75 exactly (one-word payloads in four-word
+   slots), so 0.9 only fires if slots stop being reused or payloads
+   shrink relative to their slots. *)
+let default_min_pool_utilization = 0.10
+let default_max_arena_waste = 0.90
+let mp_word_limit = 4
+
+type efficiency = {
+  eff_deliveries : int;
+  eff_arcs : int;
+  eff_rounds : int;
+  eff_msgs_per_arc_round : float;  (** deterministic *)
+  eff_arena_slots : int;
+  eff_arena_words : int;
+  eff_arena_waste : float;  (** deterministic *)
+  eff_pool_jobs : int;
+  eff_chunk_run : float;  (** seconds, wall-clock *)
+  eff_capacity : float;  (** seconds, wall-clock *)
+  eff_pool_utilization : float;
+}
+
+let measure_efficiency ~quick =
+  (* message plane: one instrumented flood run on the Fast engine *)
+  let g = mp_graph () in
+  let reg = Metrics.create () in
+  ignore (Network.run ~word_limit:mp_word_limit ~metrics:reg ~engine:`Fast g
+            flood_program);
+  let s = Metrics.snapshot reg in
+  let cnt name = Option.value ~default:0 (Metrics.find_counter s name) in
+  let deliveries = cnt "congest.deliveries_total" in
+  let rounds = cnt "congest.rounds_total" in
+  let arcs = 2 * Graph.m g in
+  let slots = cnt "timing.congest.fast.arena_slots_touched" in
+  let words = cnt "timing.congest.fast.arena_words_written" in
+  (* domain pool: one instrumented stretch verification, after an untimed
+     warm-up so worker spawn cost stays outside the measurement *)
+  let gp, keep = par_workload ~quick in
+  ignore (Stretch.max_edge_stretch ~jobs:!par_jobs gp keep);
+  let regp = Metrics.create () in
+  Parallel.set_metrics (Some regp);
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_metrics None)
+    (fun () -> ignore (Stretch.max_edge_stretch ~jobs:!par_jobs gp keep));
+  let sp = Metrics.snapshot regp in
+  let tsec name =
+    match Metrics.find_timer sp name with
+    | Some d -> d.Metrics.tseconds
+    | None -> 0.0
+  in
+  let chunk_run = tsec "timing.parallel.pool.chunk_run" in
+  let capacity = tsec "timing.parallel.pool.job_capacity" in
+  {
+    eff_deliveries = deliveries;
+    eff_arcs = arcs;
+    eff_rounds = rounds;
+    eff_msgs_per_arc_round =
+      float_of_int deliveries
+      /. (float_of_int arcs *. float_of_int (max 1 rounds));
+    eff_arena_slots = slots;
+    eff_arena_words = words;
+    (* per-delivery slot waste: each delivery occupies a [word_limit]-word
+       slot and writes its payload words into it ([slots_touched] counts
+       distinct slots ever used, so it is not the per-delivery base) *)
+    eff_arena_waste =
+      (if deliveries = 0 then 1.0
+       else
+         1.0
+         -. float_of_int words
+            /. (float_of_int deliveries *. float_of_int mp_word_limit));
+    eff_pool_jobs = !par_jobs;
+    eff_chunk_run = chunk_run;
+    eff_capacity = capacity;
+    eff_pool_utilization =
+      (if capacity > 0.0 then chunk_run /. capacity else 0.0);
+  }
+
+let print_efficiency e =
+  Printf.printf
+    "efficiency: %.4f msgs/arc/round (%d deliveries / %d arcs / %d rounds)\n"
+    e.eff_msgs_per_arc_round e.eff_deliveries e.eff_arcs e.eff_rounds;
+  Printf.printf
+    "efficiency: arena waste %.2f (%d payload words over %d deliveries in \
+     %d-word slots; %d distinct slots)\n"
+    e.eff_arena_waste e.eff_arena_words e.eff_deliveries mp_word_limit
+    e.eff_arena_slots;
+  Printf.printf
+    "efficiency: pool utilization %.2f at %d jobs (%.4fs run / %.4fs \
+     capacity)\n"
+    e.eff_pool_utilization e.eff_pool_jobs e.eff_chunk_run e.eff_capacity
+
+(* The efficiency gate proper: shared by the measuring modes (on the
+   fresh numbers) and --gate-efficiency (on recorded ones). *)
+let gate_efficiency ~min_util ~max_waste ~utilization ~waste =
+  let failures = ref 0 in
+  Printf.printf "efficiency gate: pool utilization %.3f vs floor %.3f\n"
+    utilization min_util;
+  if not (Float.is_finite utilization) || utilization < min_util then begin
+    incr failures;
+    Printf.eprintf
+      "EFFICIENCY REGRESSION pool utilization %.3f below floor %.3f\n"
+      utilization min_util
+  end;
+  Printf.printf "efficiency gate: arena waste %.3f vs ceiling %.3f\n" waste
+    max_waste;
+  if not (Float.is_finite waste) || waste > max_waste then begin
+    incr failures;
+    Printf.eprintf
+      "EFFICIENCY REGRESSION arena waste %.3f above ceiling %.3f\n" waste
+      max_waste
+  end;
+  !failures
+
 let run_suite ~quick =
   Printf.printf "perf: message plane (n=%d, %d flood rounds, both engines)...\n%!"
     mp_n flood_rounds;
@@ -322,8 +459,10 @@ let print_rows rows =
 (* JSON output (shared Exp_json encoder — schema ultraspan-perf/1)     *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "ultraspan-perf/3"
-let accepted_schemas = [ "ultraspan-perf/1"; "ultraspan-perf/2"; schema ]
+let schema = "ultraspan-perf/4"
+
+let accepted_schemas =
+  [ "ultraspan-perf/1"; "ultraspan-perf/2"; "ultraspan-perf/3"; schema ]
 
 (* A failed OLS estimate is NaN; encode it as 0.0 so the file stays valid
    JSON and --validate rejects it with a clear message. *)
@@ -343,7 +482,24 @@ let json_of_row r =
       ("rounds_per_sec", J.Float (fin (rounds_per_sec r)));
     ]
 
-let json_of_run ~quick rows =
+let json_of_efficiency e =
+  J.Obj
+    [
+      ("deliveries", J.Int e.eff_deliveries);
+      ("arcs", J.Int e.eff_arcs);
+      ("rounds", J.Int e.eff_rounds);
+      ("messages_per_arc_round", J.Float (fin e.eff_msgs_per_arc_round));
+      ("arena_slots_touched", J.Int e.eff_arena_slots);
+      ("arena_words_written", J.Int e.eff_arena_words);
+      ("word_limit", J.Int mp_word_limit);
+      ("arena_waste", J.Float (fin e.eff_arena_waste));
+      ("pool_jobs", J.Int e.eff_pool_jobs);
+      ("pool_chunk_run_seconds", J.Float (fin e.eff_chunk_run));
+      ("pool_job_capacity_seconds", J.Float (fin e.eff_capacity));
+      ("pool_utilization", J.Float (fin e.eff_pool_utilization));
+    ]
+
+let json_of_run ~quick ~eff rows =
   let fast = List.find (fun r -> r.name = "mp:fast") rows in
   let ref_ = List.find (fun r -> r.name = "mp:ref") rows in
   J.Obj
@@ -376,6 +532,7 @@ let json_of_run ~quick rows =
             ("stretch_speedup", J.Float (fin (par_speedup_of rows "stretch")));
             ("tables_speedup", J.Float (fin (par_speedup_of rows "tables")));
           ] );
+      ("efficiency", json_of_efficiency eff);
       ( "dynamic",
         let updates = dyn_batches * dyn_ops in
         let ups name =
@@ -396,8 +553,8 @@ let json_of_run ~quick rows =
           ] );
     ]
 
-let write_json ~quick ~file rows =
-  J.save file (json_of_run ~quick rows);
+let write_json ~quick ~eff ~file rows =
+  J.save file (json_of_run ~quick ~eff rows);
   speedup_of rows
 
 (* ------------------------------------------------------------------ *)
@@ -444,15 +601,41 @@ let validate file =
       let s = J.num (J.field "repair_speedup" d) in
       if not (Float.is_finite s && s > 0.0) then
         raise (J.Error "bad dynamic.repair_speedup"));
+  (match J.field_opt "efficiency" j with
+  | None -> ()
+  | Some e ->
+      if J.int (J.field "deliveries" e) <= 0 then
+        raise (J.Error "bad efficiency.deliveries");
+      let u = J.num (J.field "pool_utilization" e) in
+      if not (Float.is_finite u && u > 0.0 && u <= 1.0) then
+        raise (J.Error "bad efficiency.pool_utilization");
+      let w = J.num (J.field "arena_waste" e) in
+      if not (Float.is_finite w && w >= 0.0 && w <= 1.0) then
+        raise (J.Error "bad efficiency.arena_waste"));
   Printf.printf "%s: OK (%d suites, all ran; message-plane speedup %.2fx)\n"
     file (List.length suites) speedup
+
+(* Re-check a recorded artifact's efficiency section against the floors
+   without re-running anything — the negative-control entry point. *)
+let gate_recorded ~min_util ~max_waste file =
+  let j = load_baseline file in
+  match J.field_opt "efficiency" j with
+  | None ->
+      Printf.eprintf
+        "%s: no efficiency section (pre-v4 baseline) — cannot gate\n" file;
+      exit 1
+  | Some e ->
+      gate_efficiency ~min_util ~max_waste
+        ~utilization:(J.num (J.field "pool_utilization" e))
+        ~waste:(J.num (J.field "arena_waste" e))
 
 (* Gate a fresh run against a recorded baseline.  The default check is the
    fast-vs-ref speedup RATIO: wall-clock shifts with the machine, but the
    two engines shift together, so the ratio is what a regression in the
    fast message plane actually moves.  [--suites] adds per-suite ns/run
    checks for same-machine use. *)
-let against ~quick ~tolerance ~suites_gate ~baseline_file rows =
+let against ~quick ~tolerance ~suites_gate ~min_util ~max_waste ~eff
+    ~baseline_file rows =
   let j = load_baseline baseline_file in
   let tol = tolerance /. 100.0 in
   let failures = ref 0 in
@@ -529,6 +712,13 @@ let against ~quick ~tolerance ~suites_gate ~baseline_file rows =
           "dynamic repair speedup %.2fx below relative floor %.2fx (baseline \
            %.2fx)"
           cur_dyn rel_floor base_dyn);
+  (* Efficiency gate: absolute floors on the fresh run's efficiency
+     metrics — ratios of co-measured quantities, so no baseline scaling
+     is needed (the recorded section documents what this machine saw). *)
+  failures :=
+    !failures
+    + gate_efficiency ~min_util ~max_waste
+        ~utilization:eff.eff_pool_utilization ~waste:eff.eff_arena_waste;
   if suites_gate then begin
     let base_quick =
       match J.field_opt "quick" j with Some b -> J.bool b | None -> false
@@ -565,6 +755,8 @@ let usage () =
   prerr_endline
     "usage: perf.exe [--quick] [--jobs N | -j N] [-o FILE]\n\
     \       perf.exe --validate FILE\n\
+    \       perf.exe --gate-efficiency FILE [--min-pool-utilization X]\n\
+    \                [--max-arena-waste X]\n\
     \       perf.exe [--quick] --against FILE [--tolerance PCT] [--suites]"
 
 let die fmtstr =
@@ -580,6 +772,9 @@ let () =
   and out = ref None
   and validate_file = ref None
   and against_file = ref None
+  and gate_eff_file = ref None
+  and min_util = ref default_min_pool_utilization
+  and max_waste = ref default_max_arena_waste
   and tolerance = ref 40.0
   and suites_gate = ref false in
   let rec parse = function
@@ -589,6 +784,17 @@ let () =
     | "-o" :: f :: r -> out := Some f; parse r
     | "--validate" :: f :: r -> validate_file := Some f; parse r
     | "--against" :: f :: r -> against_file := Some f; parse r
+    | "--gate-efficiency" :: f :: r -> gate_eff_file := Some f; parse r
+    | "--min-pool-utilization" :: v :: r ->
+        (match float_of_string_opt v with
+        | Some x when x >= 0.0 -> min_util := x
+        | _ -> die "--min-pool-utilization expects a non-negative float");
+        parse r
+    | "--max-arena-waste" :: v :: r ->
+        (match float_of_string_opt v with
+        | Some x when x >= 0.0 -> max_waste := x
+        | _ -> die "--max-arena-waste expects a non-negative float");
+        parse r
     | "--tolerance" :: p :: r ->
         (match float_of_string_opt p with
         | Some v when v >= 0.0 -> tolerance := v
@@ -599,29 +805,50 @@ let () =
         | Some j when j >= 1 -> par_jobs := j
         | _ -> die "--jobs expects a positive integer, got %S" v);
         parse r
-    | [ (("-o" | "--validate" | "--against" | "--tolerance" | "--jobs" | "-j")
-        as f) ] ->
+    | [ (("-o" | "--validate" | "--against" | "--gate-efficiency"
+        | "--min-pool-utilization" | "--max-arena-waste" | "--tolerance"
+        | "--jobs" | "-j") as f) ] ->
         die "%s needs an argument" f
     | a :: _ -> die "unknown argument %S" a
   in
   parse (List.tl (Array.to_list Sys.argv));
-  match (!validate_file, !against_file) with
-  | Some _, Some _ -> die "--validate and --against are mutually exclusive"
-  | Some file, None -> (
+  if
+    List.length
+      (List.filter Option.is_some
+         [ !validate_file; !against_file; !gate_eff_file ])
+    > 1
+  then die "--validate, --against and --gate-efficiency are mutually exclusive";
+  match (!validate_file, !against_file, !gate_eff_file) with
+  | Some file, None, None -> (
       try validate file
       with J.Error msg | Sys_error msg ->
         Printf.eprintf "%s: INVALID (%s)\n" file msg;
         exit 1)
-  | None, Some baseline_file ->
+  | None, None, Some file ->
+      let failures =
+        try gate_recorded ~min_util:!min_util ~max_waste:!max_waste file
+        with J.Error msg | Sys_error msg ->
+          Printf.eprintf "%s: INVALID artifact (%s)\n" file msg;
+          exit 1
+      in
+      if failures > 0 then begin
+        Printf.eprintf "efficiency gate: %d failure(s) in %s\n" failures file;
+        exit 1
+      end;
+      Printf.printf "efficiency gate: OK for %s\n" file
+  | None, Some baseline_file, None ->
       let rows = run_suite ~quick:!quick in
+      let eff = measure_efficiency ~quick:!quick in
       print_rows rows;
+      print_efficiency eff;
       (match !out with
-      | Some file -> ignore (write_json ~quick:!quick ~file rows)
+      | Some file -> ignore (write_json ~quick:!quick ~eff ~file rows)
       | None -> ());
       let failures =
         try
           against ~quick:!quick ~tolerance:!tolerance
-            ~suites_gate:!suites_gate ~baseline_file rows
+            ~suites_gate:!suites_gate ~min_util:!min_util
+            ~max_waste:!max_waste ~eff ~baseline_file rows
         with J.Error msg | Sys_error msg ->
           Printf.eprintf "%s: INVALID baseline (%s)\n" baseline_file msg;
           exit 1
@@ -632,10 +859,21 @@ let () =
         exit 1
       end;
       Printf.printf "perf gate: OK vs %s\n" baseline_file
-  | None, None ->
+  | None, None, None ->
       let file = Option.value !out ~default:"BENCH_congest.json" in
       let rows = run_suite ~quick:!quick in
-      let speedup = write_json ~quick:!quick ~file rows in
+      let eff = measure_efficiency ~quick:!quick in
+      let speedup = write_json ~quick:!quick ~eff ~file rows in
       print_rows rows;
+      print_efficiency eff;
+      let failures =
+        gate_efficiency ~min_util:!min_util ~max_waste:!max_waste
+          ~utilization:eff.eff_pool_utilization ~waste:eff.eff_arena_waste
+      in
       Printf.printf "message-plane speedup (fast vs ref): %.2fx\n" speedup;
-      Printf.printf "wrote %s\n" file
+      Printf.printf "wrote %s\n" file;
+      if failures > 0 then begin
+        Printf.eprintf "efficiency gate: %d failure(s)\n" failures;
+        exit 1
+      end
+  | _ -> die "--validate, --against and --gate-efficiency are mutually exclusive"

@@ -5,15 +5,20 @@
 #   2. format check        (skipped when ocamlformat is not installed)
 #   3. shellcheck          (skipped when shellcheck is not installed)
 #   4. trace-exporter smoke test
-#   5. bench tables, strict: every declared paper bound must hold, and the
+#   5. metrics plane: snapshots are emitted and render, and outside the
+#      timing.* namespace they are byte-identical for the same seed across
+#      engines (fast vs ref) and job counts (-j 1 vs -j 4)
+#   6. bench tables, strict: every declared paper bound must hold, and the
 #      emitted JSON artifacts must round-trip through the golden differ
-#   6. parallel determinism: rerunning the tables over several domains
+#   7. parallel determinism: rerunning the tables over several domains
 #      (--jobs) must reproduce the sequential artifacts byte-for-byte
-#   7. stream-replay determinism: an emitted update stream replays through
+#   8. stream-replay determinism: an emitted update stream replays through
 #      the repair engine recertified, and rerunning the D1 table from the
 #      same seed reproduces its artifact byte-for-byte
-#   8. negative control: a deliberately violated bound must fail the gate
-#   9. perf regression gate against the committed BENCH_congest.json
+#   9. negative control: a deliberately violated bound must fail the gate
+#  10. perf regression gate against the committed BENCH_congest.json
+#      (includes the efficiency floors), plus the efficiency-gate negative
+#      control: an impossible utilization floor must fail
 set -eu
 cd "$(dirname "$0")/.." || exit 1
 
@@ -43,6 +48,32 @@ dune exec bin/ultraspan_cli.exe -- trace --program bfs --family gnp -n 64 \
   --degree 6 --seed 5 -o "$tmp/trace" >/dev/null
 test -s "$tmp/trace.jsonl"
 test -s "$tmp/trace.trace.json"
+
+echo "== metrics plane (snapshot, report, engine + jobs determinism) =="
+dune exec bin/ultraspan_cli.exe -- trace --program bfs --family gnp -n 64 \
+  --degree 6 --seed 5 -o "$tmp/mtr-fast" --metrics "$tmp/m-fast.json" \
+  >/dev/null
+test -s "$tmp/m-fast.json"
+dune exec bin/ultraspan_cli.exe -- metrics "$tmp/m-fast.json" >/dev/null
+dune exec bin/ultraspan_cli.exe -- trace --program bfs --family gnp -n 64 \
+  --degree 6 --seed 5 --engine ref -o "$tmp/mtr-ref" \
+  --metrics "$tmp/m-ref.json" >/dev/null
+dune exec bin/ultraspan_cli.exe -- metrics "$tmp/m-fast.json" \
+  --expose --strip-timing >"$tmp/m-fast.prom"
+dune exec bin/ultraspan_cli.exe -- metrics "$tmp/m-ref.json" \
+  --expose --strip-timing >"$tmp/m-ref.prom"
+cmp "$tmp/m-fast.prom" "$tmp/m-ref.prom"
+dune exec bin/ultraspan_cli.exe -- spanner --algo bs-distributed \
+  --family gnp -n 200 --degree 8 --seed 3 -j 1 \
+  --metrics "$tmp/m-j1.json" >/dev/null
+dune exec bin/ultraspan_cli.exe -- spanner --algo bs-distributed \
+  --family gnp -n 200 --degree 8 --seed 3 -j 4 \
+  --metrics "$tmp/m-j4.json" >/dev/null
+dune exec bin/ultraspan_cli.exe -- metrics "$tmp/m-j1.json" \
+  --expose --strip-timing >"$tmp/m-j1.prom"
+dune exec bin/ultraspan_cli.exe -- metrics "$tmp/m-j4.json" \
+  --expose --strip-timing >"$tmp/m-j4.prom"
+cmp "$tmp/m-j1.prom" "$tmp/m-j4.prom"
 
 echo "== bench tables (quick, strict) =="
 dune exec bench/main.exe -- --quick --all --strict \
@@ -78,6 +109,14 @@ echo "== strict negative control (xfail must exit non-zero) =="
 if dune exec bench/main.exe -- --quick --table xfail --strict \
     --artifacts "$tmp/xfail" >/dev/null 2>&1; then
   echo "ERROR: xfail table passed the strict gate" >&2
+  exit 1
+fi
+
+echo "== efficiency gate (recorded artifact + negative control) =="
+dune exec bench/perf.exe -- --gate-efficiency BENCH_congest.json
+if dune exec bench/perf.exe -- --gate-efficiency BENCH_congest.json \
+    --min-pool-utilization 1.5 >/dev/null 2>&1; then
+  echo "ERROR: efficiency gate passed an impossible utilization floor" >&2
   exit 1
 fi
 

@@ -68,6 +68,41 @@ let engine_arg =
            or ref (list-based reference oracle).  Both are observably \
            identical; the flag exists for A/B perf runs.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write an ultraspan-metrics/1 JSON snapshot of the run's metrics \
+           registry to $(docv).  The snapshot is flushed (flagged partial) \
+           even when the run aborts, e.g. on a round-limit overrun.")
+
+(* Run [f] against a metrics registry: a live one wired into the global
+   Parallel instrumentation when --metrics FILE was given, the shared
+   no-op sink otherwise.  The snapshot is saved even when [f] raises —
+   flagged partial — so an aborted run keeps its counters, then the
+   exception propagates. *)
+let with_metrics file f =
+  match file with
+  | None -> f Metrics.disabled
+  | Some path ->
+      let reg = Metrics.create () in
+      Parallel.set_metrics (Some reg);
+      let save () =
+        Parallel.set_metrics None;
+        Metrics_io.save_registry path reg;
+        Printf.printf "wrote metrics snapshot to %s\n%!" path
+      in
+      (match f reg with
+      | r ->
+          save ();
+          r
+      | exception e ->
+          Metrics.mark_partial reg;
+          save ();
+          raise e)
+
 let make_graph family n degree max_w seed =
   let rng = Rng.create seed in
   let g =
@@ -140,11 +175,11 @@ let stats_cmd =
 
 (* ---------- shared algorithm dispatch ---------- *)
 
-let build_spanner ?(engine = `Fast) ~algo ~k ~t ~seed g =
+let build_spanner ?(engine = `Fast) ?metrics ~algo ~k ~t ~seed g =
   match algo with
   | "bs" -> (Baswana_sen.run ~rng:(Rng.create seed) ~k g).Baswana_sen.spanner
   | "bs-distributed" ->
-      (Bs_distributed.run ~engine ~seed ~k g).Bs_distributed.spanner
+      (Bs_distributed.run ?metrics ~engine ~seed ~k g).Bs_distributed.spanner
   | "bs-derand" -> (Bs_derand.run ~k g).Bs_derand.spanner
   | "linear" -> (Linear_size.run g).Linear_size.spanner
   | "linear-random" ->
@@ -172,11 +207,12 @@ let build_certificate ~algo ~k ~eps ~seed g =
 
 (* ---------- spanner ---------- *)
 
-let spanner algo k t engine breakdown jobs input family n degree max_w seed
-    output =
+let spanner algo k t engine breakdown jobs mfile input family n degree max_w
+    seed output =
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
-  let sp = build_spanner ~engine ~algo ~k ~t ~seed g in
+  with_metrics mfile @@ fun metrics ->
+  let sp = build_spanner ~engine ~metrics ~algo ~k ~t ~seed g in
   Printf.printf "spanner edges   : %d (%.2f per vertex)\n" (Spanner.size sp)
     (float_of_int (Spanner.size sp) /. float_of_int (Graph.n g));
   Printf.printf "spanning        : %b\n" (Spanner.is_spanning g sp);
@@ -223,8 +259,9 @@ let spanner_cmd =
     Term.(
       const spanner $ spanner_algo_arg
       $ k_arg "Stretch parameter k (stretch 2k-1)."
-      $ t_arg $ engine_arg $ breakdown_arg $ jobs_arg $ input_arg $ family_arg
-      $ n_arg $ degree_arg $ weights_arg $ seed_arg $ output_arg)
+      $ t_arg $ engine_arg $ breakdown_arg $ jobs_arg $ metrics_arg
+      $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg
+      $ output_arg)
 
 (* ---------- certificate ---------- *)
 
@@ -346,7 +383,7 @@ let resilience_cmd =
 (* ---------- stream ---------- *)
 
 let stream replay emit batches ops insert_frac from_faults mode cert cert_k k
-    jobs input family n degree max_w seed output =
+    jobs mfile input family n degree max_w seed output =
   validate_k "stream" k;
   if jobs < 1 then
     failwith (Printf.sprintf "stream: jobs must be >= 1 (got %d)" jobs);
@@ -366,11 +403,13 @@ let stream replay emit batches ops insert_frac from_faults mode cert cert_k k
   | None, false | Some _, true ->
       failwith "stream: pass exactly one of --emit or --replay FILE"
   | None, true ->
+      with_metrics mfile @@ fun _metrics ->
       let s = make_stream () in
       (match output with
       | Some path ->
           Update_stream.save path s;
-          Format.eprintf "wrote %a to %s@." Update_stream.pp s path
+          (* the artifact path goes to stdout, like every other writer *)
+          Format.printf "wrote %a to %s@." Update_stream.pp s path
       | None -> print_string (Update_stream.to_string s))
   | Some path, false ->
       let s = if path = "-" then make_stream () else Update_stream.load path in
@@ -388,7 +427,9 @@ let stream replay emit batches ops insert_frac from_faults mode cert cert_k k
       | Some (_, ck) when ck < 1 ->
           failwith (Printf.sprintf "stream: cert-k must be >= 1 (got %d)" ck)
       | _ -> ());
-      let eng = Repair.create cfg g in
+      let failed =
+        with_metrics mfile @@ fun metrics ->
+      let eng = Repair.create ~metrics cfg g in
       Printf.printf "initial: %d spanner edges (stretch bound %d)%s\n"
         (Repair.spanner_size eng)
         ((2 * k) - 1)
@@ -412,7 +453,10 @@ let stream replay emit batches ops insert_frac from_faults mode cert cert_k k
         (Repair.spanner_size eng)
         (List.length s.Update_stream.batches - !failures)
         (List.length s.Update_stream.batches);
-      if !failures > 0 then exit 1
+      !failures
+      in
+      (* exit after with_metrics has flushed the snapshot *)
+      if failed > 0 then exit 1
 
 let replay_arg =
   Arg.(
@@ -496,8 +540,8 @@ let stream_cmd =
       $ insert_frac_arg $ from_faults_arg $ mode_arg $ cert_opt_arg
       $ cert_k_arg
       $ k_arg "Stretch parameter k (stretch 2k-1)."
-      $ jobs_arg $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg
-      $ seed_arg $ output_arg)
+      $ jobs_arg $ metrics_arg $ input_arg $ family_arg $ n_arg $ degree_arg
+      $ weights_arg $ seed_arg $ output_arg)
 
 (* ---------- trace ---------- *)
 
@@ -506,8 +550,8 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let trace prog k root engine drop crashes top input family n degree max_w seed
-    output =
+let trace prog k root engine drop crashes top mfile input family n degree
+    max_w seed output =
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
   let plan =
@@ -522,24 +566,27 @@ let trace prog k root engine drop crashes top input family n degree max_w seed
   let faults = if faulty then Some (Faults.make plan) else None in
   if faulty then Format.printf "fault plan: %a@." Faults.pp plan;
   let tr = Trace.create g in
+  let prof = Profile.create () in
+  with_metrics mfile @@ fun metrics ->
   let stats =
+    Profile.time prof prog @@ fun () ->
     match prog with
-    | "bfs" -> snd (Programs.bfs ?faults ~trace:tr ~engine g ~root)
+    | "bfs" -> snd (Programs.bfs ?faults ~trace:tr ~metrics ~engine g ~root)
     | "broadcast" ->
         snd
-          (Programs.broadcast_max ?faults ~trace:tr ~engine g
+          (Programs.broadcast_max ?faults ~trace:tr ~metrics ~engine g
              ~values:(Array.init (Graph.n g) Fun.id))
     | p when faulty ->
         failwith
           (Printf.sprintf
              "program %s does not take a fault plan (only bfs | broadcast)" p)
-    | "matching" -> snd (Programs.maximal_matching ~trace:tr ~engine g)
-    | "mis" -> snd (Programs.luby_mis ~trace:tr ~engine ~seed g)
+    | "matching" -> snd (Programs.maximal_matching ~trace:tr ~metrics ~engine g)
+    | "mis" -> snd (Programs.luby_mis ~trace:tr ~metrics ~engine ~seed g)
     | "bellman-ford" ->
-        snd (Programs.bellman_ford ~trace:tr ~engine g ~source:root)
-    | "forest" -> snd (Programs.spanning_forest ~trace:tr ~engine g)
+        snd (Programs.bellman_ford ~trace:tr ~metrics ~engine g ~source:root)
+    | "forest" -> snd (Programs.spanning_forest ~trace:tr ~metrics ~engine g)
     | "bs" ->
-        (Bs_distributed.run ~trace:tr ~engine ~seed ~k g)
+        (Bs_distributed.run ~trace:tr ~metrics ~engine ~seed ~k g)
           .Bs_distributed.network_stats
     | p -> failwith ("unknown program: " ^ p)
   in
@@ -548,9 +595,13 @@ let trace prog k root engine drop crashes top input family n degree max_w seed
   if stats.Network.drops > 0 then
     Printf.printf "dropped         : %d\n" stats.Network.drops;
   Format.printf "%a@?" (Trace.pp_summary ~top) tr;
+  (* phase wall-clock flows into both exports: the metrics snapshot (as
+     timing.profile.* timers) and the Chrome trace (as span events) *)
+  Profile.export prof metrics;
   let prefix = match output with Some p -> p | None -> "trace" in
   write_file (prefix ^ ".jsonl") (Trace.to_jsonl tr);
-  write_file (prefix ^ ".trace.json") (Trace.to_chrome tr);
+  write_file (prefix ^ ".trace.json")
+    (Trace.to_chrome ~extra_events:(Profile.chrome_events prof) tr);
   Printf.printf "wrote %s.jsonl (one record per line) and %s.trace.json \
                  (Chrome trace-event JSON, loadable in Perfetto)\n"
     prefix prefix
@@ -596,8 +647,69 @@ let trace_cmd =
     Term.(
       const trace $ trace_program_arg
       $ k_arg "Stretch parameter k (program bs)."
-      $ root_arg $ engine_arg $ drop_arg $ crashes_arg $ top_arg $ input_arg
-      $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg $ output_arg)
+      $ root_arg $ engine_arg $ drop_arg $ crashes_arg $ top_arg $ metrics_arg
+      $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg
+      $ output_arg)
+
+(* ---------- metrics ---------- *)
+
+let metrics_report file expose strip top =
+  if top < 1 then
+    failwith (Printf.sprintf "metrics: top must be >= 1 (got %d)" top);
+  let s =
+    try Metrics_io.load file
+    with Exp_json.Error msg ->
+      failwith (Printf.sprintf "%s: not an %s artifact (%s)" file
+                  Metrics_io.schema msg)
+  in
+  let s = if strip then Metrics.strip_timing s else s in
+  if expose then print_string (Metrics.exposition s)
+  else begin
+    Printf.printf "%s (%s)\n" file Metrics_io.schema;
+    Format.printf "%a@?" (Metrics.pp_report ~top) s
+  end
+
+let metrics_file_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"ultraspan-metrics/1 snapshot (written by --metrics FILE).")
+
+let expose_arg =
+  Arg.(
+    value & flag
+    & info [ "expose" ]
+        ~doc:
+          "Print the Prometheus-style text exposition instead of the human \
+           report (deterministic byte-for-byte; what the check.sh / CI \
+           determinism gates diff).")
+
+let strip_timing_arg =
+  Arg.(
+    value & flag
+    & info [ "strip-timing" ]
+        ~doc:
+          "Drop the timing.* execution namespace (wall-clock timers and \
+           engine-/schedule-internal diagnostics) first; what remains must \
+           be byte-identical across --jobs and --engine.")
+
+let report_top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K" ~doc:"Counters to list per section.")
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Render an ultraspan-metrics/1 snapshot: top-k counters (split \
+          deterministic vs execution namespace), gauges, histogram \
+          sparklines and per-phase timers with GC quick_stat deltas — or, \
+          with --expose, a Prometheus-style text exposition.")
+    Term.(
+      const metrics_report $ metrics_file_pos_arg $ expose_arg
+      $ strip_timing_arg $ report_top_arg)
 
 (* ---------- report ---------- *)
 
@@ -679,7 +791,7 @@ let () =
     Cmd.group info
       [
         generate_cmd; stats_cmd; spanner_cmd; certificate_cmd; resilience_cmd;
-        stream_cmd; trace_cmd; report_cmd;
+        stream_cmd; trace_cmd; metrics_cmd; report_cmd;
       ]
   in
   (* Domain errors (unknown algorithm/family/program, unreadable input,

@@ -26,6 +26,36 @@ exception Not_a_neighbor of { sender : int; target : int }
 exception Duplicate_message of { sender : int; target : int }
 exception Round_limit_exceeded of { limit : int; partial : stats }
 
+module Metrics = Ultraspan_util.Metrics
+
+(* Deterministic metrics, byte-identical across engines (checked by
+   test_metrics and the check.sh engine differential).  Engine-internal
+   diagnostics — arena occupancy, merge-cursor work, inbox sorts — depend
+   on the delivery strategy and are registered under [timing.congest.*],
+   the execution namespace excluded from determinism gates. *)
+type meters = {
+  mon : bool;
+  m_deliveries : Metrics.counter;
+  m_payload_words : Metrics.counter;
+  m_wakeups : Metrics.counter;
+  m_drops : Metrics.counter;
+  m_rounds : Metrics.counter;
+  m_max_payload : Metrics.gauge;
+  m_per_round : Metrics.histogram;
+}
+
+let meters_of metrics =
+  {
+    mon = Metrics.live metrics;
+    m_deliveries = Metrics.counter metrics "congest.deliveries_total";
+    m_payload_words = Metrics.counter metrics "congest.payload_words_total";
+    m_wakeups = Metrics.counter metrics "congest.wakeups_total";
+    m_drops = Metrics.counter metrics "congest.drops_total";
+    m_rounds = Metrics.counter metrics "congest.rounds_total";
+    m_max_payload = Metrics.gauge metrics "congest.max_payload_words";
+    m_per_round = Metrics.histogram metrics "congest.deliveries_per_round";
+  }
+
 (* Both engines share the exact same observable behaviour: same states,
    same stats, same fault-RNG consumption order (node order, then outbox
    order) and same trace-hook call sequence.  The differential test-suite
@@ -33,10 +63,12 @@ exception Round_limit_exceeded of { limit : int; partial : stats }
 
 (* ---------- reference engine (the original list-based loop) ---------- *)
 
-let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
+let run_ref ~max_rounds ~word_limit ?faults ?trace ~metrics g prog =
   let n = Graph.n g in
   (match faults with Some f -> Faults.start f ~n | None -> ());
   (match trace with Some tr -> Trace.start tr ~n | None -> ());
+  let mm = meters_of metrics in
+  let m_sorts = Metrics.counter metrics "timing.congest.ref.inbox_sorts" in
   let states = Array.init n (fun v -> prog.init g v) in
   let halted = Array.make n false in
   (* pending.(v): messages to deliver to v next round, as (sender, payload),
@@ -64,9 +96,13 @@ let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
     }
   in
   let all_halted () = Array.for_all (fun h -> h) halted in
+  let round_start_msgs = ref 0 in
   while !has_pending || not (all_halted ()) do
-    if !rounds >= max_rounds then
-      raise (Round_limit_exceeded { limit = max_rounds; partial = stats_now () });
+    if !rounds >= max_rounds then begin
+      Metrics.mark_partial metrics;
+      raise (Round_limit_exceeded { limit = max_rounds; partial = stats_now () })
+    end;
+    round_start_msgs := !messages;
     (match faults with
     | Some f -> Faults.begin_round f ~round:!rounds
     | None -> ());
@@ -76,7 +112,13 @@ let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
           ~severed:(Faults.severed_links f)
     | _ -> ());
     (* Collect this round's inboxes and clear pending. *)
-    let inboxes = Array.map (fun msgs -> List.sort compare (List.rev msgs)) pending in
+    let inboxes =
+      Array.map
+        (fun msgs ->
+          (match msgs with [] -> () | _ -> Metrics.incr m_sorts);
+          List.sort compare (List.rev msgs))
+        pending
+    in
     Array.fill pending 0 n [];
     has_pending := false;
     for v = 0 to n - 1 do
@@ -87,6 +129,7 @@ let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
           List.iter
             (fun (sender, _) ->
               Faults.drop_in_flight f ~round:!rounds ~sender ~target:v;
+              Metrics.incr mm.m_drops;
               match trace with
               | Some tr -> Trace.note_drop tr
               | None -> ())
@@ -95,6 +138,7 @@ let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
       | _ ->
           if (not halted.(v)) || inbox <> [] then begin
             incr wakeups;
+            Metrics.incr mm.m_wakeups;
             (match trace with Some tr -> Trace.note_step tr | None -> ());
             let step = prog.round g ~round:!rounds ~me:v states.(v) inbox in
             states.(v) <- step.state;
@@ -115,6 +159,7 @@ let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
                 if words > word_limit then
                   raise (Message_too_large { sender = v; words; limit = word_limit });
                 if words > !max_words then max_words := words;
+                Metrics.set_max mm.m_max_payload words;
                 let delivered =
                   match faults with
                   | None -> true
@@ -122,16 +167,20 @@ let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
                 in
                 if delivered then begin
                   incr messages;
+                  Metrics.incr mm.m_deliveries;
+                  Metrics.add mm.m_payload_words words;
                   (match trace with
                   | Some tr -> Trace.note_send tr ~sender:v ~target ~words
                   | None -> ());
                   pending.(target) <- (v, payload) :: pending.(target);
                   has_pending := true
                 end
-                else
+                else begin
+                  Metrics.incr mm.m_drops;
                   match trace with
                   | Some tr -> Trace.note_drop tr
-                  | None -> ())
+                  | None -> ()
+                end)
               step.out
           end
     done;
@@ -142,6 +191,10 @@ let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
         in
         Trace.end_round tr ~round:!rounds ~halted:halted_now
     | None -> ());
+    if mm.mon then begin
+      Metrics.incr mm.m_rounds;
+      Metrics.observe mm.m_per_round (!messages - !round_start_msgs)
+    end;
     incr rounds
   done;
   (states, stats_now ())
@@ -161,10 +214,21 @@ let run_ref ~max_rounds ~word_limit ?faults ?trace g prog =
    tracked by counters, replacing the reference engine's O(n) quiescence
    scan. *)
 
-let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
+let run_fast ~max_rounds ~word_limit ?faults ?trace ~metrics g prog =
   let n = Graph.n g in
   (match faults with Some f -> Faults.start f ~n | None -> ());
   (match trace with Some tr -> Trace.start tr ~n | None -> ());
+  let mm = meters_of metrics in
+  (* Arena/merge-cursor diagnostics are strategy-internal: execution
+     namespace.  [arena_slots_touched] counts first touches of send slots,
+     i.e. the arena high-water mark. *)
+  let m_arena_slots = Metrics.counter metrics "timing.congest.fast.arena_slots_touched" in
+  let m_arena_words = Metrics.counter metrics "timing.congest.fast.arena_words_written" in
+  let m_mc_cmp = Metrics.counter metrics "timing.congest.fast.merge_cursor_comparisons" in
+  let m_mc_hits = Metrics.counter metrics "timing.congest.fast.merge_cursor_hits" in
+  let m_mc_fallbacks =
+    Metrics.counter metrics "timing.congest.fast.merge_cursor_fallbacks"
+  in
   (* Raw CSR arrays: the loops below run once per message and cannot
      afford a cross-module call per arc. *)
   let { Graph.off; dst; rev; _ } = Graph.csr g in
@@ -203,9 +267,13 @@ let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
       severed_links;
     }
   in
+  let round_start_msgs = ref 0 in
   while !pending_msgs > 0 || !halted_count < n do
-    if !rounds >= max_rounds then
-      raise (Round_limit_exceeded { limit = max_rounds; partial = stats_now () });
+    if !rounds >= max_rounds then begin
+      Metrics.mark_partial metrics;
+      raise (Round_limit_exceeded { limit = max_rounds; partial = stats_now () })
+    end;
+    round_start_msgs := !messages;
     let r = !rounds in
     (match faults with
     | Some f -> Faults.begin_round f ~round:r
@@ -243,6 +311,7 @@ let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
           List.iter
             (fun (sender, _) ->
               Faults.drop_in_flight f ~round:r ~sender ~target:v;
+              Metrics.incr mm.m_drops;
               match trace with
               | Some tr -> Trace.note_drop tr
               | None -> ())
@@ -254,6 +323,7 @@ let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
       | _ ->
           if (not halted.(v)) || inbox <> [] then begin
             incr wakeups;
+            Metrics.incr mm.m_wakeups;
             (match trace with Some tr -> Trace.note_step tr | None -> ());
             let step = prog.round g ~round:r ~me:v states.(v) inbox in
             states.(v) <- step.state;
@@ -271,15 +341,19 @@ let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
             List.iter
               (fun (target, pl) ->
                 let arc =
-                  let c = ref !cursor in
+                  let c0 = !cursor in
+                  let c = ref c0 in
                   while !c < stop && Array.unsafe_get dst !c < target do
                     incr c
                   done;
+                  if mm.mon then Metrics.add m_mc_cmp (!c - c0 + 1);
                   if !c < stop && Array.unsafe_get dst !c = target then begin
+                    Metrics.incr m_mc_hits;
                     cursor := !c + 1;
                     !c
                   end
                   else begin
+                    Metrics.incr m_mc_fallbacks;
                     let lo = ref base and hi = ref (stop - 1) in
                     let res = ref (-1) in
                     while !res < 0 && !lo <= !hi do
@@ -297,11 +371,14 @@ let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
                 if Array.unsafe_get sent_stamp slot = r then
                   raise (Duplicate_message { sender = v; target })
                   (* one message per neighbour per round *);
+                if mm.mon && Array.unsafe_get sent_stamp slot < 0 then
+                  Metrics.incr m_arena_slots;
                 Array.unsafe_set sent_stamp slot r;
                 let words = Array.length pl in
                 if words > word_limit then
                   raise (Message_too_large { sender = v; words; limit = word_limit });
                 if words > !max_words then max_words := words;
+                Metrics.set_max mm.m_max_payload words;
                 let delivered =
                   match faults with
                   | None -> true
@@ -309,6 +386,9 @@ let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
                 in
                 if delivered then begin
                   incr messages;
+                  Metrics.incr mm.m_deliveries;
+                  Metrics.add mm.m_payload_words words;
+                  Metrics.add m_arena_words words;
                   (match trace with
                   | Some tr -> Trace.note_send tr ~sender:v ~target ~words
                   | None -> ());
@@ -319,10 +399,12 @@ let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
                   Array.unsafe_set in_count target (c + 1);
                   incr pending_msgs
                 end
-                else
+                else begin
+                  Metrics.incr mm.m_drops;
                   match trace with
                   | Some tr -> Trace.note_drop tr
-                  | None -> ())
+                  | None -> ()
+                end)
               step.out
           end);
       (match inbox with [] -> () | _ -> inboxes.(v) <- [])
@@ -330,13 +412,18 @@ let run_fast ~max_rounds ~word_limit ?faults ?trace g prog =
     (match trace with
     | Some tr -> Trace.end_round tr ~round:r ~halted:!halted_count
     | None -> ());
+    if mm.mon then begin
+      Metrics.incr mm.m_rounds;
+      Metrics.observe mm.m_per_round (!messages - !round_start_msgs)
+    end;
     incr rounds
   done;
   (states, stats_now ())
 
-let run ?max_rounds ?(word_limit = 4) ?faults ?trace ?(engine = `Fast) g prog =
+let run ?max_rounds ?(word_limit = 4) ?faults ?trace
+    ?(metrics = Metrics.disabled) ?(engine = `Fast) g prog =
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 100 * (n + 1) in
   match engine with
-  | `Fast -> run_fast ~max_rounds ~word_limit ?faults ?trace g prog
-  | `Ref -> run_ref ~max_rounds ~word_limit ?faults ?trace g prog
+  | `Fast -> run_fast ~max_rounds ~word_limit ?faults ?trace ~metrics g prog
+  | `Ref -> run_ref ~max_rounds ~word_limit ?faults ?trace ~metrics g prog

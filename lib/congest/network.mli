@@ -79,6 +79,7 @@ val run :
   ?word_limit:int ->
   ?faults:Faults.t ->
   ?trace:Trace.t ->
+  ?metrics:Ultraspan_util.Metrics.t ->
   ?engine:engine ->
   Graph.t ->
   'a program ->
@@ -101,4 +102,17 @@ val run :
     and per-edge behaviour.  Tracing is pure observation: a run with a sink
     computes exactly the same states and stats as one without (tested
     bit-for-bit), and with no sink the simulator takes the historical code
-    path unchanged. *)
+    path unchanged.
+
+    [metrics] registers run counters in a {!Ultraspan_util.Metrics}
+    registry (default: the disabled no-op sink).  Deterministic metrics
+    ([congest.deliveries_total], [congest.payload_words_total],
+    [congest.wakeups_total], [congest.drops_total], [congest.rounds_total],
+    the [congest.max_payload_words] gauge and the
+    [congest.deliveries_per_round] histogram) are identical across engines
+    and accumulate across runs sharing the registry.  Engine-internal
+    diagnostics (arena occupancy, merge-cursor work, inbox sorts) live
+    under [timing.congest.*], the execution namespace excluded from
+    determinism gates.  On {!Round_limit_exceeded} the registry is flagged
+    partial and keeps every counter recorded so far — matching how
+    [partial] stats stay available. *)

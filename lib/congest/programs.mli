@@ -10,14 +10,17 @@ open! Import
     Every program accepts an optional {!Trace} sink, forwarded verbatim to
     [Network.run ?trace], recording its per-round convergence behaviour
     without changing it, and an optional [?engine] selecting the simulator
-    message plane (see {!Network.engine}), likewise forwarded verbatim. *)
+    message plane (see {!Network.engine}), likewise forwarded verbatim.
+    An optional [?metrics] registry, forwarded to [Network.run ?metrics],
+    accumulates the deterministic run counters described there. *)
 
 (** {1 BFS tree} *)
 
 type bfs_result = { dist : int array; parent : int array }
 
 val bfs :
-  ?faults:Faults.t -> ?trace:Trace.t -> ?engine:Network.engine ->
+  ?faults:Faults.t -> ?trace:Trace.t ->
+  ?metrics:Ultraspan_util.Metrics.t -> ?engine:Network.engine ->
   Graph.t -> root:int -> bfs_result * Network.stats
 (** Distributed BFS flooding from the root.  Rounds ~ eccentricity + O(1);
     [dist]/[parent] agree with {!Bfs.tree}.  Under a fault schedule the
@@ -27,7 +30,8 @@ val bfs :
 (** {1 Broadcast / convergecast} *)
 
 val broadcast_max :
-  ?faults:Faults.t -> ?trace:Trace.t -> ?engine:Network.engine ->
+  ?faults:Faults.t -> ?trace:Trace.t ->
+  ?metrics:Ultraspan_util.Metrics.t -> ?engine:Network.engine ->
   Graph.t -> values:int array -> int array * Network.stats
 (** Every node learns the maximum of all initial values, by flooding;
     rounds ~ diameter + O(1).  (A stand-in for generic broadcast: any
@@ -38,7 +42,8 @@ val broadcast_max :
 (** {1 Maximal matching} *)
 
 val maximal_matching :
-  ?trace:Trace.t -> ?engine:Network.engine -> Graph.t ->
+  ?trace:Trace.t -> ?metrics:Ultraspan_util.Metrics.t ->
+  ?engine:Network.engine -> Graph.t ->
   int array * Network.stats
 (** Deterministic distributed maximal matching by locally-minimal edge
     proposals (each round, every unmatched node points at its smallest
@@ -49,7 +54,8 @@ val maximal_matching :
 (** {1 Weighted single-source shortest paths} *)
 
 val bellman_ford :
-  ?trace:Trace.t -> ?engine:Network.engine -> Graph.t -> source:int ->
+  ?trace:Trace.t -> ?metrics:Ultraspan_util.Metrics.t ->
+  ?engine:Network.engine -> Graph.t -> source:int ->
   (int array * int array) * Network.stats
 (** Distributed Bellman–Ford: distance announcements flood and relax until
     quiescence.  Returns [(dist, parent)] ([max_int]/[-1] when
@@ -59,7 +65,8 @@ val bellman_ford :
 (** {1 Spanning forest} *)
 
 val spanning_forest :
-  ?trace:Trace.t -> ?engine:Network.engine -> Graph.t ->
+  ?trace:Trace.t -> ?metrics:Ultraspan_util.Metrics.t ->
+  ?engine:Network.engine -> Graph.t ->
   int list * Network.stats
 (** Min-id flooding: every vertex adopts the smallest vertex id reachable
     from it, and its parent is the neighbour it last adopted from — the
@@ -71,7 +78,8 @@ val spanning_forest :
 (** {1 Maximal independent set} *)
 
 val luby_mis :
-  ?trace:Trace.t -> ?engine:Network.engine -> seed:int -> Graph.t ->
+  ?trace:Trace.t -> ?metrics:Ultraspan_util.Metrics.t ->
+  ?engine:Network.engine -> seed:int -> Graph.t ->
   bool array * Network.stats
 (** Luby's randomized MIS as a message-passing program: three rounds per
     phase (priorities, winner announcements, removal notices); local maxima

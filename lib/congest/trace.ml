@@ -159,7 +159,7 @@ let to_jsonl t =
 (* One "process", rounds as X duration slices on a synthetic microsecond
    timeline (1 round = 1000 ticks), plus C counter tracks for messages and
    node activity. *)
-let to_chrome t =
+let to_chrome ?(extra_events = []) t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[\n";
   Buffer.add_string buf
@@ -180,6 +180,11 @@ let to_chrome t =
            ",\n{\"name\":\"nodes\",\"ph\":\"C\",\"ts\":%d,\"pid\":0,\"args\":{\"active\":%d,\"halted\":%d}}"
            ts r.active r.halted))
     (rounds t);
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf ",\n";
+      Buffer.add_string buf ev)
+    extra_events;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 

@@ -72,10 +72,13 @@ val round_of_jsonl : string -> round_record option
     lines (or anything else).  [to_jsonl] followed by [round_of_jsonl] on
     each line round-trips the record array exactly (tested). *)
 
-val to_chrome : t -> string
+val to_chrome : ?extra_events:string list -> t -> string
 (** Chrome trace-event JSON (load in Perfetto / chrome://tracing): rounds
     as duration slices on a synthetic 1000-ticks-per-round timeline, plus
-    counter tracks for message volume and node activity. *)
+    counter tracks for message volume and node activity.  [extra_events]
+    are appended verbatim into the event array — each string must be one
+    complete JSON event object (e.g. {!Ultraspan_util.Profile.chrome_events}
+    phase spans). *)
 
 val pp_summary : ?top:int -> Format.formatter -> t -> unit
 (** Plain-text digest: totals, per-round and per-node message percentiles,

@@ -14,6 +14,10 @@
       and Chrome-trace exporters; {!Profile} — wall-clock phase timers.
     - {!Coloring}, {!Network_decomposition}, {!Separated_clustering},
       {!Ruling_set} — distributed decomposition primitives.
+    - {!Metrics}, {!Metrics_io} — the unified metrics plane: a typed
+      registry (counters / gauges / histograms / timers) threaded through
+      the simulator, the domain pool and the repair engine, snapshotted as
+      [ultraspan-metrics/1] artifacts
     - {!Exp_table}, {!Exp_json} — typed experiment tables with declared
       bound predicates, deterministic JSON artifacts and golden diffing
       (the machine-checkable layer behind [bench/main.exe]).
@@ -48,6 +52,7 @@ module Stats = Ultraspan_util.Stats
 module Hash_family = Ultraspan_util.Hash_family
 module Profile = Ultraspan_util.Profile
 module Parallel = Ultraspan_util.Parallel
+module Metrics = Ultraspan_util.Metrics
 
 (* Graphs *)
 module Graph = Ultraspan_graph.Graph
@@ -105,6 +110,7 @@ module Repair = Ultraspan_dynamic.Repair
 (* Experiment artifacts *)
 module Exp_json = Ultraspan_exp.Json
 module Exp_table = Ultraspan_exp.Table
+module Metrics_io = Ultraspan_exp.Metrics_io
 
 (* Certificates *)
 module Certificate = Ultraspan_certificate.Certificate

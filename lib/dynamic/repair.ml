@@ -46,6 +46,43 @@ type verdicts = {
   cert_violations : int option;
 }
 
+module Metrics = Ultraspan_util.Metrics
+
+(* Every repair counter is a function of the update stream and the initial
+   graph alone — the engine is sequential and deterministic — so all of
+   them live in the deterministic namespace (jobs only parallelize the
+   recertification kernels, which have their own [parallel.*] metrics). *)
+type meters = {
+  rm_batches : Metrics.counter;
+  rm_dirty : Metrics.counter;
+  rm_candidates : Metrics.counter;
+  rm_filtered : Metrics.counter;  (* edges the candidate filter rejected *)
+  rm_repairs : Metrics.counter;
+  rm_rebuilds : Metrics.counter;
+  rm_fallbacks : Metrics.counter;  (* repairs aborted by candidate overflow *)
+  rm_work : Metrics.counter;
+  rm_added : Metrics.counter;
+  rm_removed : Metrics.counter;
+  rm_cert_rebuilds : Metrics.counter;
+  rm_debt : Metrics.gauge;
+}
+
+let meters_of reg =
+  {
+    rm_batches = Metrics.counter reg "dynamic.repair.batches_total";
+    rm_dirty = Metrics.counter reg "dynamic.repair.dirty_balls_total";
+    rm_candidates = Metrics.counter reg "dynamic.repair.candidates_total";
+    rm_filtered = Metrics.counter reg "dynamic.repair.candidates_filtered";
+    rm_repairs = Metrics.counter reg "dynamic.repair.repairs_total";
+    rm_rebuilds = Metrics.counter reg "dynamic.repair.rebuilds_total";
+    rm_fallbacks = Metrics.counter reg "dynamic.repair.rebuild_fallbacks";
+    rm_work = Metrics.counter reg "dynamic.repair.work_total";
+    rm_added = Metrics.counter reg "dynamic.repair.edges_added_total";
+    rm_removed = Metrics.counter reg "dynamic.repair.edges_removed_total";
+    rm_cert_rebuilds = Metrics.counter reg "dynamic.repair.cert_rebuilds_total";
+    rm_debt = Metrics.gauge reg "dynamic.repair.recert_debt";
+  }
+
 type t = {
   cfg : config;
   n : int;
@@ -56,6 +93,7 @@ type t = {
   mutable cert : (int * int, unit) Hashtbl.t;  (* certificate pairs *)
   mutable debt : int;  (* certificate edges lost since its last build *)
   mutable batches : int;
+  rm : meters;  (* shared with copies *)
 }
 
 let validate (cfg : config) =
@@ -100,7 +138,7 @@ let build_cert (cfg : config) g =
       in
       pairs_of_keep g keep
 
-let create cfg g =
+let create ?(metrics = Metrics.disabled) cfg g =
   validate cfg;
   let edges = Hashtbl.create (2 * (Graph.m g + 1)) in
   Graph.iter_edges g (fun e ->
@@ -116,6 +154,7 @@ let create cfg g =
     cert = build_cert cfg g;
     debt = 0;
     batches = 0;
+    rm = meters_of metrics;
   }
 
 let config t = t.cfg
@@ -303,6 +342,8 @@ let apply_batch t batch =
             in
             if hit then suspects := (w, x, y) :: !suspects)
     end;
+    if removed > 0 then
+      Metrics.add t.rm.rm_filtered (m' - List.length !suspects);
     let candidates =
       List.sort compare
         (List.rev_append
@@ -346,6 +387,7 @@ let apply_batch t batch =
     if force_rebuild then do_rebuild () else do_repair ()
   in
   let action = if added < 0 || force_rebuild then `Rebuild else `Repair in
+  let overflowed = added < 0 && not force_rebuild in
   let added = max added 0 in
   (* ---------- lazy recertification ---------- *)
   let cert_removed = Hashtbl.length rem_cert in
@@ -380,6 +422,19 @@ let apply_batch t batch =
   t.cert <- cert';
   t.debt <- debt';
   t.batches <- t.batches + 1;
+  let rm = t.rm in
+  Metrics.incr rm.rm_batches;
+  Metrics.add rm.rm_dirty n_dirty;
+  Metrics.add rm.rm_candidates n_cand;
+  (match action with
+  | `Repair -> Metrics.incr rm.rm_repairs
+  | `Rebuild -> Metrics.incr rm.rm_rebuilds);
+  if overflowed then Metrics.incr rm.rm_fallbacks;
+  Metrics.add rm.rm_work total_work;
+  Metrics.add rm.rm_added added;
+  Metrics.add rm.rm_removed removed;
+  if !cert_rebuilt then Metrics.incr rm.rm_cert_rebuilds;
+  Metrics.set rm.rm_debt debt';
   {
     batch = t.batches;
     inserts = !inserts;

@@ -111,9 +111,19 @@ type verdicts = {
 
 type t
 
-val create : config -> Graph.t -> t
+val create : ?metrics:Ultraspan_util.Metrics.t -> config -> Graph.t -> t
 (** Build the initial spanner (and certificate, if configured) on [g].
-    Raises [Invalid_argument] on a malformed config. *)
+    Raises [Invalid_argument] on a malformed config.
+
+    [metrics] (default: the disabled sink) accumulates per-batch engine
+    counters under [dynamic.repair.*]: [batches_total],
+    [dirty_balls_total], [candidates_total], [candidates_filtered] (edges
+    the dirty-ball filter rejected), [repairs_total] / [rebuilds_total] /
+    [rebuild_fallbacks] (candidate-overflow aborts), [work_total],
+    [edges_added_total] / [edges_removed_total], [cert_rebuilds_total],
+    and the [recert_debt] gauge.  The engine is sequentially
+    deterministic, so all of these are jobs- and engine-invariant.
+    {!copy} shares the registry handles with the original. *)
 
 val config : t -> config
 

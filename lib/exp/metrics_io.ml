@@ -1,0 +1,94 @@
+(* ultraspan-metrics/1: versioned JSON serialization of Metrics snapshots.
+
+   Deterministic by construction: snapshots arrive name-sorted from
+   Metrics.snapshot and Json.to_string renders fields in insertion order,
+   so the same snapshot is the same bytes — the property check.sh's
+   jobs/engine differential gates rely on. *)
+
+module Metrics = Ultraspan_util.Metrics
+
+let schema = "ultraspan-metrics/1"
+
+let json_of_snapshot (s : Metrics.snapshot) : Json.t =
+  let counters = List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.counters in
+  let gauges = List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.gauges in
+  let histograms =
+    List.map
+      (fun (n, (h : Metrics.hist_data)) ->
+        ( n,
+          Json.Obj
+            [
+              ("edges", Json.Arr (List.map (fun e -> Json.Int e) (Array.to_list h.hedges)));
+              ("counts", Json.Arr (List.map (fun c -> Json.Int c) (Array.to_list h.hcounts)));
+              ("sum", Json.Int h.hsum);
+              ("count", Json.Int h.htotal);
+            ] ))
+      s.Metrics.histograms
+  in
+  let timers =
+    List.map
+      (fun (n, (tm : Metrics.timer_data)) ->
+        ( n,
+          Json.Obj
+            [
+              ("seconds", Json.Float tm.tseconds);
+              ("calls", Json.Int tm.tcalls);
+              ("minor_words", Json.Float tm.tminor_words);
+              ("major_words", Json.Float tm.tmajor_words);
+              ("promoted_words", Json.Float tm.tpromoted_words);
+            ] ))
+      s.Metrics.timers
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("partial", Json.Bool s.Metrics.partial);
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+      ("timers", Json.Obj timers);
+    ]
+
+let snapshot_of_json (j : Json.t) : Metrics.snapshot =
+  let got = Json.str (Json.field "schema" j) in
+  if got <> schema then
+    raise (Json.Error (Printf.sprintf "expected schema %s, got %s" schema got));
+  let partial = Json.bool (Json.field "partial" j) in
+  let counters =
+    List.map (fun (n, v) -> (n, Json.int v)) (Json.obj (Json.field "counters" j))
+  in
+  let gauges =
+    List.map (fun (n, v) -> (n, Json.int v)) (Json.obj (Json.field "gauges" j))
+  in
+  let histograms =
+    List.map
+      (fun (n, v) ->
+        let ints f = List.map Json.int (Json.arr (Json.field f v)) in
+        ( n,
+          {
+            Metrics.hedges = Array.of_list (ints "edges");
+            hcounts = Array.of_list (ints "counts");
+            hsum = Json.int (Json.field "sum" v);
+            htotal = Json.int (Json.field "count" v);
+          } ))
+      (Json.obj (Json.field "histograms" j))
+  in
+  let timers =
+    List.map
+      (fun (n, v) ->
+        ( n,
+          {
+            Metrics.tseconds = Json.num (Json.field "seconds" v);
+            tcalls = Json.int (Json.field "calls" v);
+            tminor_words = Json.num (Json.field "minor_words" v);
+            tmajor_words = Json.num (Json.field "major_words" v);
+            tpromoted_words = Json.num (Json.field "promoted_words" v);
+          } ))
+      (Json.obj (Json.field "timers" j))
+  in
+  { Metrics.partial; counters; gauges; histograms; timers }
+
+let save path s = Json.save path (json_of_snapshot s)
+let load path = snapshot_of_json (Json.load path)
+
+let save_registry path t = save path (Metrics.snapshot t)

@@ -1,0 +1,19 @@
+(** [ultraspan-metrics/1] — versioned JSON serialization of
+    {!Ultraspan_util.Metrics} snapshots.
+
+    Deterministic byte-for-byte: snapshots are name-sorted and
+    {!Json.to_string} preserves field order, so the same snapshot always
+    serializes to the same bytes.  The check.sh / CI determinism gates
+    compare these files directly (after stripping [timing.*]). *)
+
+val schema : string
+
+val json_of_snapshot : Ultraspan_util.Metrics.snapshot -> Json.t
+val snapshot_of_json : Json.t -> Ultraspan_util.Metrics.snapshot
+(** Raises {!Json.Error} on schema mismatch or malformed structure. *)
+
+val save : string -> Ultraspan_util.Metrics.snapshot -> unit
+val load : string -> Ultraspan_util.Metrics.snapshot
+
+val save_registry : string -> Ultraspan_util.Metrics.t -> unit
+(** [save path (Metrics.snapshot t)]. *)

@@ -31,6 +31,7 @@ type outcome = {
 
 val run :
   ?trace:Ultraspan_congest.Trace.t ->
+  ?metrics:Ultraspan_util.Metrics.t ->
   ?engine:Ultraspan_congest.Network.engine ->
   seed:int ->
   k:int ->
@@ -39,4 +40,6 @@ val run :
 (** [run ~seed ~k g]: (2k-1)-spanner.  [seed] keys the shared hash family.
     Requires [k >= 1].  [trace] attaches a {!Ultraspan_congest.Trace} sink
     to the protocol run (pure observation); [engine] selects the simulator
-    message plane (see {!Ultraspan_congest.Network.engine}). *)
+    message plane (see {!Ultraspan_congest.Network.engine}); [metrics]
+    accumulates the simulator's deterministic run counters
+    (see {!Ultraspan_congest.Network.run}). *)

@@ -33,6 +33,24 @@ val available_cores : unit -> int
     run in parallel.  Used by the perf harness to decide whether a speedup
     floor is meaningful. *)
 
+val set_metrics : Metrics.t option -> unit
+(** Attach (or detach, with [None]) a global metrics registry.  The layer
+    is process-global, so its instrumentation is too.  Call only while no
+    parallel section is running.
+
+    Deterministic counters — [parallel.sections_total],
+    [parallel.chunks_total], [parallel.items_total] — are functions of the
+    submitted work alone and are byte-identical for every job count (the
+    sequential [map_reduce] shortcut mirrors the chunked path's
+    accounting).  Schedule- and clock-dependent data live in the execution
+    namespace: [timing.parallel.pool.sequential_sections] /
+    [caller_chunks] / [worker_chunks] counters and the
+    [timing.parallel.pool.section] / [chunk_run] / [job_capacity] timers.
+    Pool utilization is [chunk_run / job_capacity] ([job_capacity]
+    accumulates section wall-clock × participating domains).  Worker-side
+    measurements are merged under the pool lock and published to the
+    registry from the calling domain after each section's barrier. *)
+
 val parallel_for : ?jobs:int -> int -> int -> (int -> unit) -> unit
 (** [parallel_for ?jobs lo hi f] runs [f i] for every [lo <= i < hi],
     fanned across [jobs] domains (the caller participates; [jobs - 1]

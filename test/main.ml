@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("parallel", Test_parallel.suite);
+      ("metrics", Test_metrics.suite);
       ("graph", Test_graph.suite);
       ("congest", Test_congest.suite);
       ("engine-diff", Test_engine_diff.suite);
