@@ -20,6 +20,9 @@
    [--jobs N | -j N]    fan independent sections/trials over N domains
                         (default: ULTRASPAN_JOBS or 1); artifacts are
                         byte-identical for every N
+   [--backend B]        delivery backend (seq|sharded) for the tables that
+                        run the CONGEST simulator; artifacts are
+                        byte-identical either way (default seq)
    [--bechamel]         run the Bechamel wall-clock suite *)
 
 open Ultraspan
@@ -28,6 +31,14 @@ module T = Exp_table
 let fmt = Printf.printf
 
 let jobs = ref (Parallel.default_jobs ())
+
+(* Delivery backend for the simulator-running tables (t1/t2 distributed
+   rows, t8, o1, r1).  [`Seq] by default so default runs involve no
+   domain pool inside Network.run; [`Sharded] is byte-identical in every
+   observable (Network.run's guarantee), so artifacts do not depend on
+   this flag.  The O2 engine-comparison section keeps its own explicit
+   engine/backend choices. *)
+let backend : Network.backend ref = ref `Seq
 
 (* The harness-level metrics registry (--metrics FILE).  Tables that
    temporarily attach their own registry to the domain pool (O2) restore
@@ -289,7 +300,7 @@ let table2 ~quick () =
         let bs_w = Baswana_sen.run ~rng:(Rng.create 3) ~k gw in
         let de_u = Bs_derand.run ~k gu in
         let de_w = Bs_derand.run ~k gw in
-        let bd = Bs_distributed.run ~seed:11 ~k gw in
+        let bd = Bs_distributed.run ~backend:!backend ~jobs:!jobs ~seed:11 ~k gw in
         let bd_sp = bd.Bs_distributed.spanner in
         let bd_s = stretch_of gw bd_sp.Spanner.keep in
         let bd_rounds = bd.Bs_distributed.network_stats.Network.rounds in
@@ -1153,16 +1164,20 @@ let table8 ~quick () =
               ("notes", T.Str notes);
             ]
         in
-        let bfs_res, s1 = Programs.bfs g ~root:0 in
-        let _, s2 = Programs.broadcast_max g ~values:(Array.init n Fun.id) in
-        let _, s3 = Programs.maximal_matching g in
-        let _, s4 = Programs.luby_mis ~seed:5 g in
-        let _, s5 = Programs.bellman_ford gw ~source:0 in
-        let forest, s6 = Programs.spanning_forest g in
+        let bk = !backend and bj = !jobs in
+        let bfs_res, s1 = Programs.bfs ~backend:bk ~jobs:bj g ~root:0 in
+        let _, s2 =
+          Programs.broadcast_max ~backend:bk ~jobs:bj g
+            ~values:(Array.init n Fun.id)
+        in
+        let _, s3 = Programs.maximal_matching ~backend:bk ~jobs:bj g in
+        let _, s4 = Programs.luby_mis ~backend:bk ~jobs:bj ~seed:5 g in
+        let _, s5 = Programs.bellman_ford ~backend:bk ~jobs:bj gw ~source:0 in
+        let forest, s6 = Programs.spanning_forest ~backend:bk ~jobs:bj g in
         let bs_rows =
           List.map
             (fun k ->
-              let out = Bs_distributed.run ~seed:7 ~k gw in
+              let out = Bs_distributed.run ~backend:bk ~jobs:bj ~seed:7 ~k gw in
               let st = out.Bs_distributed.network_stats in
               row
                 ~bounds:
@@ -1465,7 +1480,10 @@ let table_r1 ~quick () =
   let fault_rows =
     pmap
       (fun (name, plan) ->
-        let result, stats = Programs.bfs ~faults:(Faults.make plan) g ~root:0 in
+        let result, stats =
+          Programs.bfs ~faults:(Faults.make plan) ~backend:!backend
+            ~jobs:!jobs g ~root:0
+        in
         let reached =
           Array.fold_left
             (fun a d -> if d >= 0 then a + 1 else a)
@@ -1496,7 +1514,9 @@ let table_r1 ~quick () =
   (* determinism: the same (seed, plan) replays bit-for-bit *)
   let replay plan =
     let f = Faults.make plan in
-    let result, stats = Programs.bfs ~faults:f g ~root:0 in
+    let result, stats =
+      Programs.bfs ~faults:f ~backend:!backend ~jobs:!jobs g ~root:0
+    in
     (result, stats, Faults.events f)
   in
   let plan =
@@ -1616,7 +1636,8 @@ let table_o1 ~quick () =
   (* BFS flood *)
   let trb = Trace.create g in
   let _, s =
-    Profile.time profile "bfs" (fun () -> Programs.bfs ~trace:trb g ~root:0)
+    Profile.time profile "bfs" (fun () ->
+        Programs.bfs ~trace:trb ~backend:!backend ~jobs:!jobs g ~root:0)
   in
   let bfs_ok = s.Network.rounds <= ecc + 2 in
   let bfs_section =
@@ -1643,7 +1664,8 @@ let table_o1 ~quick () =
   let trs = Trace.create gw in
   let out =
     Profile.time profile "baswana-sen" (fun () ->
-        Bs_distributed.run ~trace:trs ~seed:7 ~k gw)
+        Bs_distributed.run ~trace:trs ~backend:!backend ~jobs:!jobs ~seed:7 ~k
+          gw)
   in
   let sb = out.Bs_distributed.network_stats in
   let bs_ok = sb.Network.rounds <= (2 * k) + 3 in
@@ -1689,7 +1711,8 @@ let table_o1 ~quick () =
        let tr = Trace.create sub in
        let eids, sf =
          Profile.time profile "thurimella-forests" (fun () ->
-             Programs.spanning_forest ~trace:tr sub)
+             Programs.spanning_forest ~trace:tr ~backend:!backend ~jobs:!jobs
+               sub)
        in
        if !first_trace = None then first_trace := Some tr;
        let bound = forest_round_bound sub in
@@ -2498,7 +2521,7 @@ let usage () =
     "usage: main.exe [--quick] [--all] [--table ID]... [--strict]\n\
     \                [--artifacts DIR] [--against DIR] [--tolerance PCT]\n\
     \                [--refresh-goldens] [--jobs N | -j N] [--metrics FILE]\n\
-    \                [--bechamel]\n\
+    \                [--backend seq|sharded] [--bechamel]\n\
      tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 o2 d1 (and xfail, \
      the negative control)"
 
@@ -2542,8 +2565,14 @@ let () =
         | Some j when j >= 1 -> jobs := j
         | _ -> die "--jobs expects a positive integer, got %S" v);
         parse r
+    | "--backend" :: b :: r ->
+        (match b with
+        | "seq" -> backend := `Seq
+        | "sharded" -> backend := `Sharded
+        | _ -> die "--backend expects seq or sharded, got %S" b);
+        parse r
     | [ (("--table" | "--artifacts" | "--against" | "--tolerance" | "--jobs"
-        | "-j" | "--metrics") as f) ] ->
+        | "-j" | "--metrics" | "--backend") as f) ] ->
         die "%s needs an argument" f
     | a :: _ -> die "unknown argument %S" a
   in

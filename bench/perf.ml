@@ -28,16 +28,27 @@
    (the instant negative control: --min-pool-utilization 1.5 must fail,
    utilization can never exceed 1).
 
-   Results are written as JSON (schema ultraspan-perf/4, default
+   Sharded message plane (schema v5): the same flood workload on streamed
+   degree-bounded graphs at n = 1e5 (and 1e6 in full mode), run under the
+   Fast engine's sequential and sharded delivery backends
+   (mp:seq:n=.../mp:sharded:n=...).  The two are byte-identical in every
+   observable — the suites measure wall-clock only, and the full run
+   re-proves the identity at n = 1e6 (states, stats and stripped metric
+   exposition compared across seq, sharded -j 1 and sharded -j 4).
+
+   Results are written as JSON (schema ultraspan-perf/5, default
    [BENCH_congest.json]) so future PRs can diff against the recorded
-   baseline; v1-v3 baselines (no parallel/dynamic/efficiency sections)
-   still load.
+   baseline; v1-v4 baselines (no sharded section, etc.) still load.
 
    Usage:
      perf [--quick] [--jobs N] [-o FILE]   run the suite, write FILE
      perf --validate FILE            check FILE parses and each suite ran
      perf --gate-efficiency FILE [--min-pool-utilization X]
           [--max-arena-waste X]     gate a recorded artifact's efficiency
+     perf --mp-smoke N              large-n determinism gate: flood + BFS
+        on a streamed degree-bounded graph at n=N, sequential backend vs
+        sharded at jobs 1 and 4; states, stats and stripped metrics must
+        be byte-identical (exit 1 on any mismatch)
      perf [--quick] --against FILE [--tolerance PCT] [--suites]
         rerun the suite and gate on the recorded baseline: the fast-vs-ref
         message-plane speedup must stay within PCT percent of the baseline
@@ -47,7 +58,10 @@
         recorded ratio.  On smaller machines the parallel gate is skipped
         with a note: a ratio needs cores to manifest.  Against a v3
         baseline the dynamic repair-vs-rebuild speedup must clear a 1.2x
-        absolute floor and stay within PCT of the recorded ratio.
+        absolute floor and stay within PCT of the recorded ratio, and
+        against a v5 baseline the sharded-vs-seq message-plane speedup at
+        n=1e5 must clear a 1.5x absolute floor (>= 4 cores only, same
+        skip rule as the stretch gate).
         [--suites] additionally gates each suite's ns/run — opt-in because
         absolute wall-clock does not transfer across CI machines. *)
 
@@ -67,19 +81,38 @@ let mp_graph () =
     ~avg_degree:mp_avg_degree
 
 (* Flood workload: every node sends one word to every neighbour, every
-   round, for [flood_rounds] rounds.  The outbox is precomputed in the
+   round, for a fixed number of rounds.  The outbox is precomputed in the
    initial state, so per-round program cost is negligible and the engine's
    message plane dominates the measurement. *)
-let flood_program =
+let make_flood_program rounds =
   {
     Network.init =
       (fun g v ->
         List.rev (Graph.fold_adj g v (fun acc u _ -> (u, [| v land 0xffff |]) :: acc) []));
     round =
       (fun _ ~round ~me:_ out _ ->
-        if round >= flood_rounds then { Network.state = out; out = []; halt = true }
+        if round >= rounds then { Network.state = out; out = []; halt = true }
         else { Network.state = out; out; halt = false });
   }
+
+let flood_program = make_flood_program flood_rounds
+
+(* Large-n message plane: streamed degree-bounded graphs put the sharded
+   delivery backend where it matters — sizes at which the per-round arc
+   sweep is memory-bound.  Fewer flood rounds than the small workload: one
+   run already moves millions of words. *)
+let sharded_seed = 91
+let sharded_degree = 4
+let big_flood_rounds = 4
+let big_sizes ~quick = if quick then [ 100_000 ] else [ 100_000; 1_000_000 ]
+
+(* the size whose seq-vs-sharded ratio feeds the gated speedup *)
+let gate_big_n = 100_000
+
+let big_graph n =
+  Generators.Streamed.graph
+    (Generators.Streamed.degree_bounded ~seed:sharded_seed ~n
+       ~degree:sharded_degree)
 
 let protocol_sizes ~quick = if quick then [ 512; 2048 ] else [ 512; 2048; 8192 ]
 
@@ -186,9 +219,9 @@ let measure ?quota ~quick ~name ~kind ~n ~messages ~rounds f =
     rounds_per_run = rounds;
   }
 
-let measure_stats ~quick ~name ~kind ~n ~stats f =
+let measure_stats ?quota ~quick ~name ~kind ~n ~stats f =
   let stats : Network.stats = stats in
-  measure ~quick ~name ~kind ~n ~messages:stats.Network.messages
+  measure ?quota ~quick ~name ~kind ~n ~messages:stats.Network.messages
     ~rounds:stats.Network.rounds f
 
 let message_plane_rows ~quick =
@@ -204,6 +237,29 @@ let message_plane_rows ~quick =
       ~stats:(stats `Ref) (run `Ref)
   in
   [ fast; ref_ ]
+
+(* Seq vs sharded delivery on the large streamed graphs.  Both backends on
+   the Fast engine; results are byte-identical (the differential suite and
+   --mp-smoke prove it), so only wall-clock separates the rows. *)
+let sharded_rows ~quick =
+  let prog = make_flood_program big_flood_rounds in
+  List.concat_map
+    (fun n ->
+      let g = big_graph n in
+      let run backend () =
+        ignore (Network.run ~engine:`Fast ~backend ~jobs:!par_jobs g prog)
+      in
+      let stats backend =
+        snd (Network.run ~engine:`Fast ~backend ~jobs:!par_jobs g prog)
+      in
+      let sized b = Printf.sprintf "mp:%s:n=%d" b n in
+      [
+        measure_stats ~quota:1.0 ~quick ~name:(sized "seq")
+          ~kind:"message-plane" ~n ~stats:(stats `Seq) (run `Seq);
+        measure_stats ~quota:1.0 ~quick ~name:(sized "sharded")
+          ~kind:"message-plane" ~n ~stats:(stats `Sharded) (run `Sharded);
+      ])
+    (big_sizes ~quick)
 
 let protocol_rows ~quick =
   List.concat_map
@@ -406,6 +462,13 @@ let run_suite ~quick =
   Printf.printf "perf: message plane (n=%d, %d flood rounds, both engines)...\n%!"
     mp_n flood_rounds;
   let mp = message_plane_rows ~quick in
+  Printf.printf
+    "perf: sharded message plane at n in {%s} (degree %d, jobs=%d on %d \
+     core(s))...\n%!"
+    (String.concat ", " (List.map string_of_int (big_sizes ~quick)))
+    sharded_degree !par_jobs
+    (Parallel.available_cores ());
+  let sharded = sharded_rows ~quick in
   Printf.printf "perf: protocols at n in {%s}...\n%!"
     (String.concat ", " (List.map string_of_int (protocol_sizes ~quick)));
   let proto = protocol_rows ~quick in
@@ -417,12 +480,27 @@ let run_suite ~quick =
   Printf.printf
     "perf: dynamic repair vs rebuild (torus %dx%d, %d batches x %d ops)...\n%!"
     (dyn_side ~quick) (dyn_side ~quick) dyn_batches dyn_ops;
-  mp @ proto @ par @ dynamic_rows ~quick
+  mp @ sharded @ proto @ par @ dynamic_rows ~quick
 
 let speedup_of rows =
   let fast = List.find (fun r -> r.name = "mp:fast") rows in
   let ref_ = List.find (fun r -> r.name = "mp:ref") rows in
   messages_per_sec fast /. messages_per_sec ref_
+
+(* seq-vs-sharded wall-clock ratio of the gated large-n pair (>1 = the
+   sharded backend wins); NaN when the rows are absent (old baselines). *)
+let sharded_speedup_of rows =
+  match
+    ( List.find_opt
+        (fun r -> r.name = Printf.sprintf "mp:seq:n=%d" gate_big_n)
+        rows,
+      List.find_opt
+        (fun r -> r.name = Printf.sprintf "mp:sharded:n=%d" gate_big_n)
+        rows )
+  with
+  | Some seq, Some sh when sh.ns_per_run > 0.0 ->
+      seq.ns_per_run /. sh.ns_per_run
+  | _ -> Float.nan
 
 (* seq-vs-par wall-clock ratio of a parallel suite pair (>1 = the pool
    wins); NaN when the rows are absent (old baselines). *)
@@ -459,10 +537,13 @@ let print_rows rows =
 (* JSON output (shared Exp_json encoder — schema ultraspan-perf/1)     *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "ultraspan-perf/4"
+let schema = "ultraspan-perf/5"
 
 let accepted_schemas =
-  [ "ultraspan-perf/1"; "ultraspan-perf/2"; "ultraspan-perf/3"; schema ]
+  [
+    "ultraspan-perf/1"; "ultraspan-perf/2"; "ultraspan-perf/3";
+    "ultraspan-perf/4"; schema;
+  ]
 
 (* A failed OLS estimate is NaN; encode it as 0.0 so the file stays valid
    JSON and --validate rejects it with a clear message. *)
@@ -521,6 +602,26 @@ let json_of_run ~quick ~eff rows =
             ("fast_messages_per_sec", J.Float (fin (messages_per_sec fast)));
             ("ref_messages_per_sec", J.Float (fin (messages_per_sec ref_)));
             ("speedup", J.Float (fin (speedup_of rows)));
+          ] );
+      ( "sharded",
+        let msgs name =
+          match List.find_opt (fun r -> r.name = name) rows with
+          | Some r -> messages_per_sec r
+          | None -> 0.0
+        in
+        J.Obj
+          [
+            ("cores", J.Int (Parallel.available_cores ()));
+            ("jobs", J.Int !par_jobs);
+            ("n", J.Int gate_big_n);
+            ("degree", J.Int sharded_degree);
+            ("flood_rounds", J.Int big_flood_rounds);
+            ( "seq_messages_per_sec",
+              J.Float (fin (msgs (Printf.sprintf "mp:seq:n=%d" gate_big_n))) );
+            ( "sharded_messages_per_sec",
+              J.Float (fin (msgs (Printf.sprintf "mp:sharded:n=%d" gate_big_n)))
+            );
+            ("speedup", J.Float (fin (sharded_speedup_of rows)));
           ] );
       ( "parallel",
         J.Obj
@@ -593,6 +694,15 @@ let validate file =
       let s = J.num (J.field "stretch_speedup" p) in
       if not (Float.is_finite s && s > 0.0) then
         raise (J.Error "bad parallel.stretch_speedup"));
+  (match J.field_opt "sharded" j with
+  | None -> ()
+  | Some p ->
+      if J.int (J.field "cores" p) <= 0 then
+        raise (J.Error "bad sharded.cores");
+      if J.int (J.field "n" p) <= 0 then raise (J.Error "bad sharded.n");
+      let s = J.num (J.field "speedup" p) in
+      if not (Float.is_finite s && s > 0.0) then
+        raise (J.Error "bad sharded.speedup"));
   (match J.field_opt "dynamic" j with
   | None -> ()
   | Some d ->
@@ -687,6 +797,38 @@ let against ~quick ~tolerance ~suites_gate ~min_util ~max_waste ~eff
         fail "stretch:par speedup %.2fx below relative floor %.2fx (baseline \
               %.2fx)"
           cur_par rel_floor base_par);
+  (* Sharded-delivery gate: same shape as the stretch gate — the
+     seq-vs-sharded message-plane ratio at n=1e5 needs real cores to
+     manifest, so it is enforced only on >= 4-core machines and only
+     against a v5 baseline that recorded the sharded section. *)
+  (match J.field_opt "sharded" j with
+  | None ->
+      Printf.printf
+        "sharded gate: skipped (baseline %s has no sharded section)\n"
+        baseline_file
+  | Some p when cores < 4 ->
+      let base_cores = J.int (J.field "cores" p) in
+      Printf.printf
+        "sharded gate: skipped (%d core(s) here, baseline recorded %d — the \
+         sharded-vs-seq ratio cannot manifest below 4 cores)\n"
+        cores base_cores
+  | Some p ->
+      let abs_floor = 1.5 in
+      let base_sh = J.num (J.field "speedup" p) in
+      let cur_sh = sharded_speedup_of rows in
+      let rel_floor = base_sh *. (1.0 -. tol) in
+      Printf.printf
+        "mp:sharded speedup at n=%d: %.2fx now vs %.2fx baseline (floors: \
+         %.2fx absolute, %.2fx relative)\n"
+        gate_big_n cur_sh base_sh abs_floor rel_floor;
+      if not (Float.is_finite cur_sh) || cur_sh < abs_floor then
+        fail "mp:sharded speedup %.2fx below the %.2fx floor at %d cores"
+          cur_sh abs_floor cores
+      else if cur_sh < rel_floor then
+        fail
+          "mp:sharded speedup %.2fx below relative floor %.2fx (baseline \
+           %.2fx)"
+          cur_sh rel_floor base_sh);
   (* Dynamic gate: incremental repair must keep beating the rebuild
      baseline on the same stream — a ratio of the same workload on the
      same machine, so it transfers like the other ratio gates. *)
@@ -750,6 +892,55 @@ let against ~quick ~tolerance ~suites_gate ~min_util ~max_waste ~eff
   !failures
 
 (* ------------------------------------------------------------------ *)
+(* --mp-smoke: the large-n determinism gate                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Flood and BFS on a streamed degree-bounded graph at the given n, run
+   under the sequential backend and under the sharded backend at jobs 1
+   and 4.  States, stats and the stripped deterministic metric exposition
+   must be byte-identical across all three — in-process, no files.
+   Returns the mismatch count (the caller exits 1 on any). *)
+let mp_smoke n =
+  Printf.printf
+    "mp-smoke: n=%d streamed degree-%d graph — flood + BFS, seq vs sharded \
+     -j 1 vs sharded -j 4...\n%!"
+    n sharded_degree;
+  let g = big_graph n in
+  let flood = make_flood_program big_flood_rounds in
+  let failures = ref 0 in
+  let agree what tag (s1, st1, e1) (s2, st2, e2) =
+    let miss part =
+      incr failures;
+      Printf.eprintf "MP-SMOKE MISMATCH %s %s: %s differs from seq\n" what
+        part tag
+    in
+    if s1 <> s2 then miss "states";
+    if st1 <> st2 then miss "stats";
+    if not (String.equal e1 e2) then miss "metrics"
+  in
+  let family what obs =
+    let base = obs ~backend:`Seq ~jobs:1 in
+    agree what "sharded -j 1" base (obs ~backend:`Sharded ~jobs:1);
+    agree what "sharded -j 4" base (obs ~backend:`Sharded ~jobs:4)
+  in
+  family "flood" (fun ~backend ~jobs ->
+      let reg = Metrics.create () in
+      let states, stats =
+        Network.run ~metrics:reg ~engine:`Fast ~backend ~jobs g flood
+      in
+      (states, stats, Metrics.exposition ~strip:true (Metrics.snapshot reg)));
+  family "bfs" (fun ~backend ~jobs ->
+      let reg = Metrics.create () in
+      let res, stats = Programs.bfs ~metrics:reg ~backend ~jobs g ~root:0 in
+      (res, stats, Metrics.exposition ~strip:true (Metrics.snapshot reg)));
+  if !failures = 0 then
+    Printf.printf
+      "mp-smoke: OK (n=%d: flood and BFS byte-identical across backends and \
+       job counts)\n"
+      n;
+  !failures
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   prerr_endline
@@ -757,6 +948,7 @@ let usage () =
     \       perf.exe --validate FILE\n\
     \       perf.exe --gate-efficiency FILE [--min-pool-utilization X]\n\
     \                [--max-arena-waste X]\n\
+    \       perf.exe --mp-smoke N [--jobs N | -j N]\n\
     \       perf.exe [--quick] --against FILE [--tolerance PCT] [--suites]"
 
 let die fmtstr =
@@ -776,7 +968,8 @@ let () =
   and min_util = ref default_min_pool_utilization
   and max_waste = ref default_max_arena_waste
   and tolerance = ref 40.0
-  and suites_gate = ref false in
+  and suites_gate = ref false
+  and mp_smoke_n = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: r -> quick := true; parse r
@@ -785,6 +978,11 @@ let () =
     | "--validate" :: f :: r -> validate_file := Some f; parse r
     | "--against" :: f :: r -> against_file := Some f; parse r
     | "--gate-efficiency" :: f :: r -> gate_eff_file := Some f; parse r
+    | "--mp-smoke" :: v :: r ->
+        (match int_of_string_opt v with
+        | Some n when n >= 3 -> mp_smoke_n := Some n
+        | _ -> die "--mp-smoke expects an integer n >= 3, got %S" v);
+        parse r
     | "--min-pool-utilization" :: v :: r ->
         (match float_of_string_opt v with
         | Some x when x >= 0.0 -> min_util := x
@@ -806,18 +1004,33 @@ let () =
         | _ -> die "--jobs expects a positive integer, got %S" v);
         parse r
     | [ (("-o" | "--validate" | "--against" | "--gate-efficiency"
-        | "--min-pool-utilization" | "--max-arena-waste" | "--tolerance"
-        | "--jobs" | "-j") as f) ] ->
+        | "--mp-smoke" | "--min-pool-utilization" | "--max-arena-waste"
+        | "--tolerance" | "--jobs" | "-j") as f) ] ->
         die "%s needs an argument" f
     | a :: _ -> die "unknown argument %S" a
   in
   parse (List.tl (Array.to_list Sys.argv));
   if
     List.length
-      (List.filter Option.is_some
-         [ !validate_file; !against_file; !gate_eff_file ])
+      (List.filter Fun.id
+         [
+           Option.is_some !validate_file; Option.is_some !against_file;
+           Option.is_some !gate_eff_file; Option.is_some !mp_smoke_n;
+         ])
     > 1
-  then die "--validate, --against and --gate-efficiency are mutually exclusive";
+  then
+    die
+      "--validate, --against, --gate-efficiency and --mp-smoke are mutually \
+       exclusive";
+  (match !mp_smoke_n with
+  | Some n ->
+      let failures = mp_smoke n in
+      if failures > 0 then begin
+        Printf.eprintf "mp-smoke: %d mismatch(es) at n=%d\n" failures n;
+        exit 1
+      end;
+      exit 0
+  | None -> ());
   match (!validate_file, !against_file, !gate_eff_file) with
   | Some file, None, None -> (
       try validate file
@@ -866,11 +1079,22 @@ let () =
       let speedup = write_json ~quick:!quick ~eff ~file rows in
       print_rows rows;
       print_efficiency eff;
+      (* full runs re-prove the seq/sharded identity at the largest size
+         before the artifact is trusted *)
+      let smoke_failures =
+        if !quick then 0
+        else mp_smoke (List.fold_left max 0 (big_sizes ~quick:false))
+      in
       let failures =
-        gate_efficiency ~min_util:!min_util ~max_waste:!max_waste
-          ~utilization:eff.eff_pool_utilization ~waste:eff.eff_arena_waste
+        smoke_failures
+        + gate_efficiency ~min_util:!min_util ~max_waste:!max_waste
+            ~utilization:eff.eff_pool_utilization ~waste:eff.eff_arena_waste
       in
       Printf.printf "message-plane speedup (fast vs ref): %.2fx\n" speedup;
+      Printf.printf "sharded-vs-seq speedup at n=%d: %.2fx (%d core(s))\n"
+        gate_big_n
+        (sharded_speedup_of rows)
+        (Parallel.available_cores ());
       Printf.printf "wrote %s\n" file;
       if failures > 0 then begin
         Printf.eprintf "efficiency gate: %d failure(s)\n" failures;

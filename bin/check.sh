@@ -16,7 +16,12 @@
 #      the repair engine recertified, and rerunning the D1 table from the
 #      same seed reproduces its artifact byte-for-byte
 #   9. negative control: a deliberately violated bound must fail the gate
-#  10. perf regression gate against the committed BENCH_congest.json
+#  10. sharded delivery backend: --engine ref --backend sharded must be
+#      rejected, a sharded CLI run must leave deterministic metrics
+#      byte-identical to the sequential backend at -j 1 and -j 4, and the
+#      large-n mp-smoke (flood + BFS at n=1e5, seq vs sharded -j 1/-j 4,
+#      in-process byte-compare) must pass
+#  11. perf regression gate against the committed BENCH_congest.json
 #      (includes the efficiency floors), plus the efficiency-gate negative
 #      control: an impossible utilization floor must fail
 set -eu
@@ -111,6 +116,38 @@ if dune exec bench/main.exe -- --quick --table xfail --strict \
   echo "ERROR: xfail table passed the strict gate" >&2
   exit 1
 fi
+
+echo "== sharded backend (ref rejection, metrics invariance, mp-smoke) =="
+if dune exec bin/ultraspan_cli.exe -- spanner --algo bs-distributed \
+    --family gnp -n 64 --degree 6 --seed 3 --engine ref --backend sharded \
+    >/dev/null 2>&1; then
+  echo "ERROR: --engine ref --backend sharded was accepted" >&2
+  exit 1
+fi
+# Jobs invariance on the sharded backend: the whole stripped exposition
+# must be byte-identical at -j 1 and -j 4.  Across backends only the
+# deterministic congest.* counters are comparable (the pool meters count
+# pool sections, and the sharded backend runs more of them by design).
+dune exec bin/ultraspan_cli.exe -- spanner --algo bs-distributed \
+  --family gnp -n 200 --degree 8 --seed 3 --backend seq -j 1 \
+  --metrics "$tmp/m-bseq.json" >/dev/null
+dune exec bin/ultraspan_cli.exe -- spanner --algo bs-distributed \
+  --family gnp -n 200 --degree 8 --seed 3 --backend sharded -j 1 \
+  --metrics "$tmp/m-sh1.json" >/dev/null
+dune exec bin/ultraspan_cli.exe -- spanner --algo bs-distributed \
+  --family gnp -n 200 --degree 8 --seed 3 --backend sharded -j 4 \
+  --metrics "$tmp/m-sh4.json" >/dev/null
+for b in bseq sh1 sh4; do
+  dune exec bin/ultraspan_cli.exe -- metrics "$tmp/m-$b.json" \
+    --expose --strip-timing >"$tmp/m-$b.prom"
+done
+cmp "$tmp/m-sh1.prom" "$tmp/m-sh4.prom"
+grep "^congest\." "$tmp/m-bseq.prom" >"$tmp/congest-seq.txt"
+grep "^congest\." "$tmp/m-sh1.prom" >"$tmp/congest-sh.txt"
+grep -q "congest\.payload_words_total" "$tmp/congest-sh.txt"
+grep -q "congest\.max_payload_words" "$tmp/congest-sh.txt"
+cmp "$tmp/congest-seq.txt" "$tmp/congest-sh.txt"
+dune exec bench/perf.exe -- --mp-smoke 100000
 
 echo "== efficiency gate (recorded artifact + negative control) =="
 dune exec bench/perf.exe -- --gate-efficiency BENCH_congest.json

@@ -68,6 +68,28 @@ let engine_arg =
            or ref (list-based reference oracle).  Both are observably \
            identical; the flag exists for A/B perf runs.")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("seq", `Seq); ("sharded", `Sharded) ])) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Fast-engine round-delivery backend: seq (single-domain) or \
+           sharded (two-phase parallel delivery over the domain pool; \
+           byte-identical results for any job count).  Default: sharded \
+           on a multicore machine, seq otherwise.  Not valid with \
+           --engine ref.")
+
+(* The ref oracle is list-based and single-domain by definition; reject
+   the contradictory combination up front with a one-line diagnostic
+   (main turns the Failure into exit 1). *)
+let check_engine_backend engine backend =
+  match (engine, backend) with
+  | `Ref, Some `Sharded ->
+      failwith "--engine ref has no sharded delivery backend (drop --backend \
+                sharded or use --engine fast)"
+  | _ -> ()
+
 let metrics_arg =
   Arg.(
     value
@@ -175,11 +197,12 @@ let stats_cmd =
 
 (* ---------- shared algorithm dispatch ---------- *)
 
-let build_spanner ?(engine = `Fast) ?metrics ~algo ~k ~t ~seed g =
+let build_spanner ?(engine = `Fast) ?backend ?jobs ?metrics ~algo ~k ~t ~seed g =
   match algo with
   | "bs" -> (Baswana_sen.run ~rng:(Rng.create seed) ~k g).Baswana_sen.spanner
   | "bs-distributed" ->
-      (Bs_distributed.run ?metrics ~engine ~seed ~k g).Bs_distributed.spanner
+      (Bs_distributed.run ?metrics ~engine ?backend ?jobs ~seed ~k g)
+        .Bs_distributed.spanner
   | "bs-derand" -> (Bs_derand.run ~k g).Bs_derand.spanner
   | "linear" -> (Linear_size.run g).Linear_size.spanner
   | "linear-random" ->
@@ -207,12 +230,13 @@ let build_certificate ~algo ~k ~eps ~seed g =
 
 (* ---------- spanner ---------- *)
 
-let spanner algo k t engine breakdown jobs mfile input family n degree max_w
-    seed output =
+let spanner algo k t engine backend breakdown jobs mfile input family n degree
+    max_w seed output =
+  check_engine_backend engine backend;
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
   with_metrics mfile @@ fun metrics ->
-  let sp = build_spanner ~engine ~metrics ~algo ~k ~t ~seed g in
+  let sp = build_spanner ~engine ?backend ~jobs ~metrics ~algo ~k ~t ~seed g in
   Printf.printf "spanner edges   : %d (%.2f per vertex)\n" (Spanner.size sp)
     (float_of_int (Spanner.size sp) /. float_of_int (Graph.n g));
   Printf.printf "spanning        : %b\n" (Spanner.is_spanning g sp);
@@ -259,7 +283,8 @@ let spanner_cmd =
     Term.(
       const spanner $ spanner_algo_arg
       $ k_arg "Stretch parameter k (stretch 2k-1)."
-      $ t_arg $ engine_arg $ breakdown_arg $ jobs_arg $ metrics_arg
+      $ t_arg $ engine_arg $ backend_arg $ breakdown_arg $ jobs_arg
+      $ metrics_arg
       $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg
       $ output_arg)
 
@@ -550,8 +575,9 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let trace prog k root engine drop crashes top mfile input family n degree
-    max_w seed output =
+let trace prog k root engine backend drop crashes top mfile input family n
+    degree max_w seed output =
+  check_engine_backend engine backend;
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
   let plan =
@@ -571,22 +597,27 @@ let trace prog k root engine drop crashes top mfile input family n degree
   let stats =
     Profile.time prof prog @@ fun () ->
     match prog with
-    | "bfs" -> snd (Programs.bfs ?faults ~trace:tr ~metrics ~engine g ~root)
+    | "bfs" ->
+        snd (Programs.bfs ?faults ~trace:tr ~metrics ~engine ?backend g ~root)
     | "broadcast" ->
         snd
-          (Programs.broadcast_max ?faults ~trace:tr ~metrics ~engine g
+          (Programs.broadcast_max ?faults ~trace:tr ~metrics ~engine ?backend g
              ~values:(Array.init (Graph.n g) Fun.id))
     | p when faulty ->
         failwith
           (Printf.sprintf
              "program %s does not take a fault plan (only bfs | broadcast)" p)
-    | "matching" -> snd (Programs.maximal_matching ~trace:tr ~metrics ~engine g)
-    | "mis" -> snd (Programs.luby_mis ~trace:tr ~metrics ~engine ~seed g)
+    | "matching" ->
+        snd (Programs.maximal_matching ~trace:tr ~metrics ~engine ?backend g)
+    | "mis" -> snd (Programs.luby_mis ~trace:tr ~metrics ~engine ?backend ~seed g)
     | "bellman-ford" ->
-        snd (Programs.bellman_ford ~trace:tr ~metrics ~engine g ~source:root)
-    | "forest" -> snd (Programs.spanning_forest ~trace:tr ~metrics ~engine g)
+        snd
+          (Programs.bellman_ford ~trace:tr ~metrics ~engine ?backend g
+             ~source:root)
+    | "forest" ->
+        snd (Programs.spanning_forest ~trace:tr ~metrics ~engine ?backend g)
     | "bs" ->
-        (Bs_distributed.run ~trace:tr ~metrics ~engine ~seed ~k g)
+        (Bs_distributed.run ~trace:tr ~metrics ~engine ?backend ~seed ~k g)
           .Bs_distributed.network_stats
     | p -> failwith ("unknown program: " ^ p)
   in
@@ -647,7 +678,8 @@ let trace_cmd =
     Term.(
       const trace $ trace_program_arg
       $ k_arg "Stretch parameter k (program bs)."
-      $ root_arg $ engine_arg $ drop_arg $ crashes_arg $ top_arg $ metrics_arg
+      $ root_arg $ engine_arg $ backend_arg $ drop_arg $ crashes_arg $ top_arg
+      $ metrics_arg
       $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg
       $ output_arg)
 

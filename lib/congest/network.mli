@@ -44,11 +44,26 @@ type engine = [ `Fast | `Ref ]
 (** Message-plane implementation.  [`Fast] (the default) delivers messages
     into preallocated per-arc slots of the graph's CSR index: duplicate
     detection is a slot-stamp check, inboxes come out sorted by sender for
-    free (adjacency slices are sorted), and no per-round lists or hash
-    tables are allocated.  [`Ref] is the original list-based loop, kept as
-    a reference oracle; both engines are observably identical — states,
-    stats, fault events and traces match bit-for-bit (enforced by the
-    differential test suite). *)
+    free (adjacency slices are sorted), and payloads live in a flat
+    off-heap arena (one [word_limit]-word region per arc) instead of a
+    boxed array the GC would trace.  [`Ref] is the original list-based
+    loop, kept as a reference oracle; both engines are observably
+    identical — states, stats, fault events and traces match bit-for-bit
+    (enforced by the differential test suite). *)
+
+type backend = [ `Seq | `Sharded ]
+(** Round-delivery backend of the [`Fast] engine.  [`Seq] steps all nodes
+    on the calling domain.  [`Sharded] partitions the node range into a
+    fixed set of shards ({!Ultraspan_util.Parallel.block_count}, a
+    function of [n] alone) and runs each round as two barrier-separated
+    pool sections — inbox assembly, then step-and-deliver — fanned across
+    the deterministic domain pool.  Stats, states, deterministic metrics,
+    fault events, traces and model-violation exceptions are byte-identical
+    to [`Seq] for every job count: per-shard accumulators are folded on
+    the caller in shard-index (= node) order, and the order-sensitive
+    parts (fault RNG, trace hooks) force the step phase sequential
+    whenever [?faults] or [?trace] is attached.  The [`Ref] engine has no
+    sharded backend (requesting it is an [Invalid_argument]). *)
 
 type stats = {
   rounds : int;  (** rounds executed *)
@@ -81,6 +96,8 @@ val run :
   ?trace:Trace.t ->
   ?metrics:Ultraspan_util.Metrics.t ->
   ?engine:engine ->
+  ?backend:backend ->
+  ?jobs:int ->
   Graph.t ->
   'a program ->
   'a array * stats
@@ -89,6 +106,16 @@ val run :
     the usual CONGEST convention).  [max_rounds] defaults to [100 * (n+1)].
     [engine] selects the message-plane implementation (default [`Fast];
     see {!type-engine}).
+
+    [backend] selects the [`Fast] engine's round-delivery strategy (see
+    {!type-backend}).  Default: [`Sharded] when the machine has more than
+    one core, [`Seq] otherwise — safe because the two are byte-identical
+    in every observable.  [jobs] bounds the domains the sharded backend
+    uses (default: {!Ultraspan_util.Parallel.default_jobs}); it never
+    affects results, only wall-clock.  One caveat: when a run raises a
+    model violation under the parallel step phase, the registry reflects
+    only the shards at or before the violating one — exactly what the
+    sequential backend would have recorded.
 
     [faults] subjects the run to a fault schedule (see {!Faults} for the
     exact semantics); the injector must be fresh, and afterwards

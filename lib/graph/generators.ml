@@ -285,3 +285,119 @@ let connected_gnp ~rng ~n ~avg_degree =
 
 let weighted_connected_gnp ~rng ~n ~avg_degree ~max_w =
   randomize_weights ~rng ~lo:1 ~hi:max_w (connected_gnp ~rng ~n ~avg_degree)
+
+(* ---------- streamed families ----------
+
+   Edge streams for topologies too large to materialize as tuple lists.
+   Each constructor produces a {e replayable} iterator — [Graph.of_edge_iter]
+   consumes it twice, so randomized families build a fresh [Rng] from the
+   seed on every pass instead of threading shared state. *)
+
+module Streamed = struct
+  type t = { sn : int; iter : (int -> int -> int -> unit) -> unit }
+
+  let n s = s.sn
+
+  let iter s f = s.iter f
+
+  let graph s = Graph.of_edge_iter ~n:s.sn s.iter
+
+  let grid rows cols =
+    if rows < 1 || cols < 1 then invalid_arg "Generators.Streamed.grid";
+    let idx r c = (r * cols) + c in
+    let iter f =
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if c + 1 < cols then f (idx r c) (idx r (c + 1)) 1;
+          if r + 1 < rows then f (idx r c) (idx (r + 1) c) 1
+        done
+      done
+    in
+    { sn = rows * cols; iter }
+
+  let torus rows cols =
+    if rows < 3 || cols < 3 then
+      invalid_arg "Generators.Streamed.torus: dims >= 3";
+    let idx r c = (r * cols) + c in
+    let iter f =
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          f (idx r c) (idx r ((c + 1) mod cols)) 1;
+          f (idx r c) (idx ((r + 1) mod rows) c) 1
+        done
+      done
+    in
+    { sn = rows * cols; iter }
+
+  let degree_bounded ~seed ~n ~degree =
+    if n < 3 then invalid_arg "Generators.Streamed.degree_bounded: n >= 3";
+    if degree < 2 || degree >= n then
+      invalid_arg "Generators.Streamed.degree_bounded: 2 <= degree < n";
+    let iter f =
+      let rng = Rng.create seed in
+      (* cycle backbone keeps the graph connected *)
+      for v = 0 to n - 1 do
+        f v ((v + 1) mod n) 1
+      done;
+      (* random chords: every draw consumes the rng, even the rejected
+         self-loop ones, so both passes see the same stream *)
+      for v = 0 to n - 1 do
+        for _ = 1 to degree - 2 do
+          let u = Rng.int rng n in
+          if u <> v then f v u 1
+        done
+      done
+    in
+    { sn = n; iter }
+
+  let preferential ~seed ~n ~degree =
+    if degree < 1 then invalid_arg "Generators.Streamed.preferential";
+    if n <= degree then
+      invalid_arg "Generators.Streamed.preferential: n too small";
+    let iter f =
+      let rng = Rng.create seed in
+      (* Growable endpoint pool (amortized O(1) appends, unlike the
+         list-based family above): sampling from it is degree-proportional. *)
+      let pool = ref (Array.make 1024 0) in
+      let len = ref 0 in
+      let push x =
+        if !len = Array.length !pool then begin
+          let bigger = Array.make (2 * !len) 0 in
+          Array.blit !pool 0 bigger 0 !len;
+          pool := bigger
+        end;
+        !pool.(!len) <- x;
+        incr len
+      in
+      for u = 0 to degree do
+        for v = u + 1 to degree do
+          f u v 1;
+          push u;
+          push v
+        done
+      done;
+      let targets = Array.make degree (-1) in
+      for v = degree + 1 to n - 1 do
+        let k = ref 0 in
+        let attempts = ref 0 in
+        while !k < degree && !attempts < 50 * degree do
+          incr attempts;
+          let t = !pool.(Rng.int rng !len) in
+          let dup = ref (t = v) in
+          for i = 0 to !k - 1 do
+            if targets.(i) = t then dup := true
+          done;
+          if not !dup then begin
+            targets.(!k) <- t;
+            incr k
+          end
+        done;
+        for i = 0 to !k - 1 do
+          f v targets.(i) 1;
+          push v;
+          push targets.(i)
+        done
+      done
+    in
+    { sn = n; iter }
+end

@@ -84,3 +84,45 @@ val connected_gnp :
 val weighted_connected_gnp :
   rng:Ultraspan_util.Rng.t -> n:int -> avg_degree:float -> max_w:int -> Graph.t
 (** {!connected_gnp} then weights uniform in [\[1, max_w\]]. *)
+
+(** {1 Streamed families}
+
+    Generators for n = 10^6..10^7 topologies that never materialize an
+    edge list: each value is a replayable edge {e stream} that
+    {!Graph.of_edge_iter} folds straight into CSR form.  Randomized
+    families take a [seed] (not an [Rng.t]) because the stream is
+    consumed twice and must replay identically — a fresh generator is
+    built from the seed on every pass. *)
+
+module Streamed : sig
+  type t
+  (** A replayable edge stream with a known vertex count. *)
+
+  val n : t -> int
+  (** Number of vertices of the topology the stream describes. *)
+
+  val iter : t -> (int -> int -> int -> unit) -> unit
+  (** [iter s f] calls [f u v w] once per streamed edge.  Replayable:
+      successive calls produce the identical sequence. *)
+
+  val graph : t -> Graph.t
+  (** Materialize via {!Graph.of_edge_iter} — structurally equal to
+      building the same edges through {!Graph.of_edge_array}. *)
+
+  val degree_bounded : seed:int -> n:int -> degree:int -> t
+  (** Cycle backbone (connected by construction) plus [degree - 2]
+      random chords per vertex; average degree about [degree].
+      Requires [2 <= degree < n] and [n >= 3]. *)
+
+  val grid : int -> int -> t
+  (** Streamed {!Generators.grid}. *)
+
+  val torus : int -> int -> t
+  (** Streamed {!Generators.torus}. *)
+
+  val preferential : seed:int -> n:int -> degree:int -> t
+  (** Barabási–Albert-style preferential attachment with a growable
+      endpoint pool; connected by construction.  Unlike
+      {!preferential_attachment}, target selection is insertion-ordered
+      (no hash-table iteration), so the stream replays exactly. *)
+end

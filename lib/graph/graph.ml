@@ -1,5 +1,12 @@
 type edge = { u : int; v : int; w : int; id : int }
 
+type csr = {
+  off : int array;
+  dst : int array;
+  eid : int array;
+  rev : int array;
+}
+
 type t = {
   n : int;
   edges : edge array;
@@ -7,6 +14,7 @@ type t = {
   adj_dst : int array; (* length 2m; each vertex slice strictly increasing *)
   adj_eid : int array; (* length 2m *)
   adj_rev : int array; (* length 2m; CSR index of the reverse arc *)
+  view : csr; (* preallocated zero-copy view over the four arrays above *)
 }
 
 let n g = g.n
@@ -69,14 +77,10 @@ let arc_eid g a = g.adj_eid.(a)
 
 let arc_rev g a = g.adj_rev.(a)
 
-type csr = {
-  off : int array;
-  dst : int array;
-  eid : int array;
-  rev : int array;
-}
-
-let csr g = { off = g.adj_off; dst = g.adj_dst; eid = g.adj_eid; rev = g.adj_rev }
+(* The view record is built once at construction time, so hot loops (the
+   simulator fetches it per run, once, outside the round loop) get the raw
+   arrays without allocating anything. *)
+let csr g = g.view
 
 let arc_index g v u =
   let lo = ref g.adj_off.(v) and hi = ref (g.adj_off.(v + 1) - 1) in
@@ -94,12 +98,12 @@ let total_weight g = Array.fold_left (fun acc e -> acc + e.w) 0 g.edges
 
 let is_unit_weighted g = Array.for_all (fun e -> e.w = 1) g.edges
 
-let build n canonical_edges =
-  (* canonical_edges: deduplicated, u < v, valid. *)
-  let m = Array.length canonical_edges in
-  let edges =
-    Array.mapi (fun id (u, v, w) -> { u; v; w; id }) canonical_edges
-  in
+(* Index an already-canonical edge array (sorted by (u, v), u < v,
+   deduplicated): one counting pass, one scatter pass.  Shared by the
+   list-based [build] below and the streaming [of_edge_iter], which
+   constructs [edges] without ever materializing a tuple list. *)
+let index_edges n edges =
+  let m = Array.length edges in
   let deg = Array.make n 0 in
   Array.iter
     (fun e ->
@@ -132,7 +136,125 @@ let build n canonical_edges =
       assert (adj_dst.(i - 1) < adj_dst.(i))
     done
   done;
-  { n; edges; adj_off; adj_dst; adj_eid; adj_rev }
+  let view = { off = adj_off; dst = adj_dst; eid = adj_eid; rev = adj_rev } in
+  { n; edges; adj_off; adj_dst; adj_eid; adj_rev; view }
+
+let build n canonical_edges =
+  (* canonical_edges: deduplicated, u < v, valid. *)
+  index_edges n (Array.mapi (fun id (u, v, w) -> { u; v; w; id }) canonical_edges)
+
+(* In-place quicksort (insertion cutoff) of a [bv]/[bw] bucket slice by
+   destination — the streamed builder's per-vertex neighbour sort. *)
+let sort_bucket bv bw lo hi =
+  let swap i j =
+    let tv = bv.(i) and tw = bw.(i) in
+    bv.(i) <- bv.(j);
+    bw.(i) <- bw.(j);
+    bv.(j) <- tv;
+    bw.(j) <- tw
+  in
+  let rec go lo hi =
+    if hi - lo <= 12 then
+      for i = lo + 1 to hi do
+        let v = bv.(i) and w = bw.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && bv.(!j) > v do
+          bv.(!j + 1) <- bv.(!j);
+          bw.(!j + 1) <- bw.(!j);
+          decr j
+        done;
+        bv.(!j + 1) <- v;
+        bw.(!j + 1) <- w
+      done
+    else begin
+      let mid = (lo + hi) lsr 1 in
+      (* median-of-three pivot, moved to [hi] *)
+      if bv.(mid) < bv.(lo) then swap mid lo;
+      if bv.(hi) < bv.(lo) then swap hi lo;
+      if bv.(hi) < bv.(mid) then swap hi mid;
+      swap mid hi;
+      let p = bv.(hi) in
+      let i = ref lo in
+      for j = lo to hi - 1 do
+        if bv.(j) <= p then begin
+          swap !i j;
+          incr i
+        end
+      done;
+      swap !i hi;
+      go lo (!i - 1);
+      go (!i + 1) hi
+    end
+  in
+  if hi > lo then go lo hi
+
+let of_edge_iter ~n iter =
+  if n < 0 then invalid_arg "Graph.of_edge_iter: negative n";
+  (* Pass 1: count edges per smaller endpoint (validating as we go). *)
+  let cnt = Array.make (max 1 n) 0 in
+  let total = ref 0 in
+  iter (fun u v w ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edge_iter: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_edge_iter: self-loop";
+      if w < 0 then invalid_arg "Graph.of_edge_iter: negative weight";
+      let a = if u < v then u else v in
+      cnt.(a) <- cnt.(a) + 1;
+      incr total);
+  let boff = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    boff.(v + 1) <- boff.(v) + cnt.(v)
+  done;
+  (* Pass 2: scatter the larger endpoints and weights into per-vertex
+     buckets — two flat int arrays, never a tuple list. *)
+  let bv = Array.make (max 1 !total) 0 in
+  let bw = Array.make (max 1 !total) 0 in
+  let cur = Array.copy boff in
+  iter (fun u v w ->
+      let a = if u < v then u else v and b = if u < v then v else u in
+      let p = cur.(a) in
+      if p >= boff.(a + 1) then
+        invalid_arg "Graph.of_edge_iter: stream changed between passes";
+      bv.(p) <- b;
+      bw.(p) <- w;
+      cur.(a) <- p + 1);
+  for v = 0 to n - 1 do
+    if cur.(v) <> boff.(v + 1) then
+      invalid_arg "Graph.of_edge_iter: stream changed between passes"
+  done;
+  (* Sort each bucket by destination and merge parallel edges keeping the
+     minimum weight (matching [canonicalize]); compact in place. *)
+  let m = ref 0 in
+  for u = 0 to n - 1 do
+    let lo = boff.(u) and hi = boff.(u + 1) - 1 in
+    sort_bucket bv bw lo hi;
+    let k = ref lo in
+    for i = lo to hi do
+      if i > lo && bv.(i) = bv.(i - 1) then begin
+        if bw.(i) < bw.(!k - 1) then bw.(!k - 1) <- bw.(i)
+      end
+      else begin
+        bv.(!k) <- bv.(i);
+        bw.(!k) <- bw.(i);
+        incr k
+      end
+    done;
+    cnt.(u) <- !k - lo;
+    m := !m + (!k - lo)
+  done;
+  (* Emit the canonical edge array in (u, v) order — bucket order is
+     exactly that — and index it. *)
+  let dummy = { u = 0; v = 0; w = 0; id = 0 } in
+  let edges = Array.make !m dummy in
+  let id = ref 0 in
+  for u = 0 to n - 1 do
+    let lo = boff.(u) in
+    for i = lo to lo + cnt.(u) - 1 do
+      edges.(!id) <- { u; v = bv.(i); w = bw.(i); id = !id };
+      incr id
+    done
+  done;
+  index_edges n edges
 
 let canonicalize ~n triples =
   let check (u, v, w) =

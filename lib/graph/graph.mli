@@ -28,6 +28,18 @@ val of_edges : n:int -> (int * int * int) list -> t
 
 val of_edge_array : n:int -> (int * int * int) array -> t
 
+val of_edge_iter : n:int -> ((int -> int -> int -> unit) -> unit) -> t
+(** [of_edge_iter ~n iter] builds the same graph as {!of_edge_array}
+    without ever materializing the triples: [iter f] must call
+    [f u v w] once per edge, and must be {e replayable} — the stream is
+    consumed twice (a counting pass, then a scatter pass) and must
+    produce the identical sequence both times (checked; a mismatch
+    raises [Invalid_argument]).  Peak auxiliary memory is two int arrays
+    of the stream length, so n=10^6..10^7 topologies build within
+    memory where a tuple list would not.  Validation, parallel-edge
+    merging (minimum weight) and edge-id assignment match
+    {!of_edge_array} exactly: the result is structurally equal. *)
+
 val empty : int -> t
 (** Graph with [n] vertices and no edges. *)
 

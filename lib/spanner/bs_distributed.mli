@@ -33,13 +33,17 @@ val run :
   ?trace:Ultraspan_congest.Trace.t ->
   ?metrics:Ultraspan_util.Metrics.t ->
   ?engine:Ultraspan_congest.Network.engine ->
+  ?backend:Ultraspan_congest.Network.backend ->
+  ?jobs:int ->
   seed:int ->
   k:int ->
   Graph.t ->
   outcome
 (** [run ~seed ~k g]: (2k-1)-spanner.  [seed] keys the shared hash family.
     Requires [k >= 1].  [trace] attaches a {!Ultraspan_congest.Trace} sink
-    to the protocol run (pure observation); [engine] selects the simulator
-    message plane (see {!Ultraspan_congest.Network.engine}); [metrics]
+    to the protocol run (pure observation); [engine], [backend] and [jobs]
+    select the simulator message plane, delivery backend and domain budget
+    (see {!Ultraspan_congest.Network.engine} and
+    {!Ultraspan_congest.Network.backend}); [metrics]
     accumulates the simulator's deterministic run counters
     (see {!Ultraspan_congest.Network.run}). *)

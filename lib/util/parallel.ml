@@ -271,6 +271,21 @@ let parallel_for ?jobs lo hi f =
         done)
   end
 
+let block_count n = if n <= 0 then 0 else min n max_chunks
+
+let iter_blocks ?jobs n f =
+  if n > 0 then begin
+    let jobs = resolve_jobs jobs in
+    let k = block_count n in
+    let pm = !pmeters in
+    if pm.pm_on then begin
+      Metrics.incr pm.pm_sections;
+      Metrics.add pm.pm_chunks k;
+      Metrics.add pm.pm_items n
+    end;
+    run_chunked ~jobs ~nchunks:k (fun c -> f c (n * c / k) (n * (c + 1) / k))
+  end
+
 let map_array ?jobs n f =
   if n = 0 then [||]
   else begin

@@ -58,6 +58,21 @@ val parallel_for : ?jobs:int -> int -> int -> (int -> unit) -> unit
     per-index state; completion of the call synchronizes all writes.
     Exceptions raised by [f] are re-raised on the caller. *)
 
+val block_count : int -> int
+(** Number of blocks {!iter_blocks} partitions a range of [n] indices
+    into: [min n 64], and [0] for an empty range.  A fixed function of
+    [n] alone — callers sizing per-block accumulators get the same shard
+    layout for every job count. *)
+
+val iter_blocks : ?jobs:int -> int -> (int -> int -> int -> unit) -> unit
+(** [iter_blocks ?jobs n f] calls [f block lo hi] once per block of the
+    fixed partition of [0 .. n-1] ([block_count n] blocks, block [c]
+    covering [n*c/k .. n*(c+1)/k - 1]), fanned across [jobs] domains.
+    This is {!parallel_for} exposed at block granularity, for callers
+    that keep per-block state (e.g. the sharded CONGEST delivery
+    backend's per-shard stat accumulators).  [f] must write only to
+    per-block state; completion of the call synchronizes all writes. *)
+
 val map_array : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [map_array ?jobs n f] is [Array.init n f] with the calls fanned across
     domains.  Element order is index order regardless of scheduling. *)

@@ -198,6 +198,136 @@ let round_limit_agrees () =
   let f = partial `Fast and r = partial `Ref in
   Alcotest.(check bool) "limit parity" true (f = r && f <> None)
 
+(* ---------- sharded backend differential ----------
+
+   The [`Sharded] backend of the fast engine must be byte-identical to
+   [`Seq] for every job count — bare (parallel step phase), traced and
+   faulted (step phase degrades sequential, assembly stays parallel), and
+   on model-violation / round-limit paths. *)
+
+let observe_backend ~backend ~jobs ?plan g prog =
+  let faults = Option.map Faults.make plan in
+  let tr = Trace.create g in
+  let states, stats = Network.run ?faults ~trace:tr ~backend ~jobs g prog in
+  let events = match faults with Some f -> Faults.events f | None -> [] in
+  (states, stats, events, Trace.to_jsonl tr)
+
+let sharded_bare =
+  qcheck ~count:60 "random programs: sharded == seq (bare, jobs 1/4)" seed_gen
+    (fun seed ->
+      let g = unit_graph_of_seed ~n_max:50 seed in
+      let prog = random_program ~seed ~cap:(cap_of_seed seed) in
+      let seq = Network.run ~backend:`Seq g prog in
+      Network.run ~backend:`Sharded ~jobs:1 g prog = seq
+      && Network.run ~backend:`Sharded ~jobs:4 g prog = seq)
+
+let sharded_traced_faulted =
+  qcheck ~count:40
+    "random programs: sharded == seq (trace + mixed faults, jobs 1/4)"
+    seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:50 seed in
+      let prog = random_program ~seed ~cap:(cap_of_seed seed) in
+      let plan = mixed_plan_of_seed g seed in
+      let seq = observe_backend ~backend:`Seq ~jobs:1 ~plan g prog in
+      observe_backend ~backend:`Sharded ~jobs:1 ~plan g prog = seq
+      && observe_backend ~backend:`Sharded ~jobs:4 ~plan g prog = seq)
+
+let sharded_metrics_jobs_invariant =
+  qcheck ~count:15
+    "random programs: sharded deterministic metrics == seq (stripped)"
+    seed_gen (fun seed ->
+      let g = unit_graph_of_seed ~n_max:50 seed in
+      let prog = random_program ~seed ~cap:(cap_of_seed seed) in
+      let exposition backend jobs =
+        let r = Metrics.create () in
+        let _ = Network.run ~metrics:r ~backend ~jobs g prog in
+        Metrics.exposition ~strip:true (Metrics.snapshot r)
+      in
+      let seq = exposition `Seq 1 in
+      exposition `Sharded 1 = seq && exposition `Sharded 4 = seq)
+
+let sharded_violations_agree () =
+  (* Violators placed mid-range so shard-ordered selection is exercised:
+     on a 50-path the sequential engine reaches node 10 first — the
+     sharded backend must raise node 10's violation too, for any jobs. *)
+  let g = Generators.path 50 in
+  let raises prog =
+    let attempt backend jobs =
+      match Network.run ~backend ~jobs g prog with
+      | _ -> None
+      | exception Network.Not_a_neighbor { sender; target } ->
+          Some (`Nn (sender, target))
+      | exception Network.Duplicate_message { sender; target } ->
+          Some (`Dup (sender, target))
+      | exception Network.Message_too_large { sender; words; limit } ->
+          Some (`Big (sender, words, limit))
+    in
+    let seq = attempt `Seq 1 in
+    Alcotest.(check bool) "sharded violation parity" true
+      (seq <> None
+      && attempt `Sharded 1 = seq
+      && attempt `Sharded 4 = seq)
+  in
+  let offender me out =
+    {
+      Network.init = (fun _ _ -> ());
+      round =
+        (fun _ ~round ~me:v () _ ->
+          let out = if round = 0 && v = me then out else [] in
+          { Network.state = (); out; halt = true });
+    }
+  in
+  (* two violators in different shards: lowest node must win *)
+  let two =
+    {
+      Network.init = (fun _ _ -> ());
+      round =
+        (fun _ ~round ~me () _ ->
+          let out =
+            if round = 0 && (me = 10 || me = 40) then [ (0, [| 0 |]) ] else []
+          in
+          { Network.state = (); out; halt = true });
+    }
+  in
+  raises (offender 30 [ (0, [| 7 |]) ]);
+  raises (offender 30 [ (31, [| 0 |]); (31, [| 1 |]) ]);
+  raises (offender 30 [ (31, [| 0; 0; 0; 0; 0 |]) ]);
+  raises two
+
+let sharded_round_limit_agrees () =
+  let g = Generators.cycle 40 in
+  let prog =
+    {
+      Network.init = (fun _ _ -> ());
+      round =
+        (fun g ~round:_ ~me () _ ->
+          let out = Graph.fold_adj g me (fun acc u _ -> (u, [| 1 |]) :: acc) [] in
+          { Network.state = (); out; halt = false });
+    }
+  in
+  let partial backend jobs =
+    match Network.run ~max_rounds:5 ~backend ~jobs g prog with
+    | _ -> None
+    | exception Network.Round_limit_exceeded { limit; partial } ->
+        Some (limit, partial)
+  in
+  let seq = partial `Seq 1 in
+  Alcotest.(check bool) "sharded limit parity" true
+    (seq <> None && partial `Sharded 1 = seq && partial `Sharded 4 = seq)
+
+let ref_sharded_rejected () =
+  let g = Generators.path 3 in
+  let prog =
+    {
+      Network.init = (fun _ _ -> ());
+      round = (fun _ ~round:_ ~me:_ () _ -> { Network.state = (); out = []; halt = true });
+    }
+  in
+  Alcotest.check_raises "ref + sharded is invalid"
+    (Invalid_argument
+       "Network.run: the ref engine has no sharded delivery backend")
+    (fun () -> ignore (Network.run ~engine:`Ref ~backend:`Sharded g prog))
+
 let suite =
   [
     random_programs_fault_free;
@@ -207,4 +337,10 @@ let suite =
     bs_distributed_agrees;
     case "model violations identical" violations_agree;
     case "round limit identical" round_limit_agrees;
+    sharded_bare;
+    sharded_traced_faulted;
+    sharded_metrics_jobs_invariant;
+    case "sharded: model violations identical" sharded_violations_agree;
+    case "sharded: round limit identical" sharded_round_limit_agrees;
+    case "sharded: rejected on ref engine" ref_sharded_rejected;
   ]

@@ -603,6 +603,83 @@ let gen_lollipop () =
   Alcotest.(check bool) "connected" true (Connectivity.is_connected g);
   Alcotest.(check int) "diameter" 21 (Bfs.diameter_hops g)
 
+(* ---------- streamed construction ---------- *)
+
+(* of_edge_iter must produce the exact structure of of_edge_array on the
+   same multiset of triples — same canonical edge order, ids, CSR. *)
+let collect_triples s =
+  let acc = ref [] in
+  Generators.Streamed.iter s (fun u v w -> acc := (u, v, w) :: !acc);
+  Array.of_list (List.rev !acc)
+
+let streamed_matches_materialized s =
+  Generators.Streamed.graph s
+  = Graph.of_edge_array ~n:(Generators.Streamed.n s) (collect_triples s)
+
+let streamed_grid_torus () =
+  Alcotest.(check bool) "grid == streamed grid" true
+    (Generators.grid 7 9 = Generators.Streamed.graph (Generators.Streamed.grid 7 9));
+  Alcotest.(check bool) "torus == streamed torus" true
+    (Generators.torus 5 6 = Generators.Streamed.graph (Generators.Streamed.torus 5 6))
+
+let streamed_equivalence =
+  qcheck ~count:40 "streamed: of_edge_iter == of_edge_array" seed_gen
+    (fun seed ->
+      let n = 3 + (seed mod 60) in
+      streamed_matches_materialized
+        (Generators.Streamed.degree_bounded ~seed ~n ~degree:(2 + (seed mod 5)))
+      && streamed_matches_materialized
+           (Generators.Streamed.preferential ~seed ~n:(n + 4)
+              ~degree:(1 + (seed mod 4))))
+
+let streamed_dedups_min_weight () =
+  (* parallel edges across the two passes: min weight must survive, in
+     canonical order, like [canonicalize]. *)
+  let iter f =
+    f 2 1 9;
+    f 1 2 4;
+    f 0 1 7;
+    f 1 0 7
+  in
+  let g = Graph.of_edge_iter ~n:3 iter in
+  let g' = Graph.of_edge_array ~n:3 [| (2, 1, 9); (1, 2, 4); (0, 1, 7); (1, 0, 7) |] in
+  Alcotest.(check bool) "dedup parity" true (g = g');
+  Alcotest.(check int) "m" 2 (Graph.m g);
+  Alcotest.(check int) "w(1,2)" 4
+    (match Graph.find_edge g 1 2 with Some e -> Graph.weight g e | None -> -1)
+
+let streamed_rejects_bad_input () =
+  Alcotest.check_raises "self-loop"
+    (Invalid_argument "Graph.of_edge_iter: self-loop") (fun () ->
+      ignore (Graph.of_edge_iter ~n:3 (fun f -> f 1 1 1)));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.of_edge_iter: endpoint out of range") (fun () ->
+      ignore (Graph.of_edge_iter ~n:3 (fun f -> f 0 3 1)));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Graph.of_edge_iter: negative weight") (fun () ->
+      ignore (Graph.of_edge_iter ~n:3 (fun f -> f 0 1 (-1))));
+  (* a stream that shrinks between the counting and scatter passes *)
+  let calls = ref 0 in
+  let flaky f =
+    incr calls;
+    if !calls = 1 then begin
+      f 0 1 1;
+      f 1 2 1
+    end
+    else f 0 1 1
+  in
+  Alcotest.check_raises "replay mismatch"
+    (Invalid_argument "Graph.of_edge_iter: stream changed between passes")
+    (fun () -> ignore (Graph.of_edge_iter ~n:3 flaky))
+
+let streamed_connected () =
+  let db = Generators.Streamed.degree_bounded ~seed:11 ~n:500 ~degree:4 in
+  let pa = Generators.Streamed.preferential ~seed:11 ~n:500 ~degree:3 in
+  Alcotest.(check bool) "degree_bounded connected" true
+    (Connectivity.is_connected (Generators.Streamed.graph db));
+  Alcotest.(check bool) "preferential connected" true
+    (Connectivity.is_connected (Generators.Streamed.graph pa))
+
 let suite =
   suite
   @ [
@@ -612,4 +689,9 @@ let suite =
       gen_random_regular;
       case "gen: random_regular odd" gen_random_regular_rejects_odd;
       case "gen: lollipop" gen_lollipop;
+      case "streamed: grid/torus parity" streamed_grid_torus;
+      streamed_equivalence;
+      case "streamed: parallel-edge dedup" streamed_dedups_min_weight;
+      case "streamed: bad input rejected" streamed_rejects_bad_input;
+      case "streamed: families connected" streamed_connected;
     ]
