@@ -10,7 +10,7 @@
    [--quick]            smaller instances (CI-friendly)
    [--all]              run every experiment (the default selection)
    [--table ID]         run one experiment; repeatable
-                        (t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 d1)
+                        (t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 o2 d1 v1)
    [--strict]           exit 1 if any declared bound is violated
    [--artifacts DIR]    where to write JSON artifacts (default: artifacts)
    [--against DIR]      diff this run against golden artifacts in DIR
@@ -23,6 +23,13 @@
    [--backend B]        delivery backend (seq|sharded) for the tables that
                         run the CONGEST simulator; artifacts are
                         byte-identical either way (default seq)
+   [--engine E]         simulator message plane (fast|ref) for the same
+                        tables; byte-identical either way (default fast;
+                        ref has no sharded backend)
+   [--verify MODE]      after the tables, verify freshly built artifacts
+                        (spanner + certificate) in MODE (local|exact|
+                        probe); a rejection counts as a bound violation,
+                        so with --strict it fails the run
    [--bechamel]         run the Bechamel wall-clock suite *)
 
 open Ultraspan
@@ -39,6 +46,11 @@ let jobs = ref (Parallel.default_jobs ())
    this flag.  The O2 engine-comparison section keeps its own explicit
    engine/backend choices. *)
 let backend : Network.backend ref = ref `Seq
+
+(* Message plane for the same tables.  [`Fast] by default; [`Ref] is the
+   list-based oracle, observably identical (and rejected in combination
+   with --backend sharded, exactly like the CLI). *)
+let engine : Network.engine ref = ref `Fast
 
 (* The harness-level metrics registry (--metrics FILE).  Tables that
    temporarily attach their own registry to the domain pool (O2) restore
@@ -300,7 +312,7 @@ let table2 ~quick () =
         let bs_w = Baswana_sen.run ~rng:(Rng.create 3) ~k gw in
         let de_u = Bs_derand.run ~k gu in
         let de_w = Bs_derand.run ~k gw in
-        let bd = Bs_distributed.run ~backend:!backend ~jobs:!jobs ~seed:11 ~k gw in
+        let bd = Bs_distributed.run ~engine:!engine ~backend:!backend ~jobs:!jobs ~seed:11 ~k gw in
         let bd_sp = bd.Bs_distributed.spanner in
         let bd_s = stretch_of gw bd_sp.Spanner.keep in
         let bd_rounds = bd.Bs_distributed.network_stats.Network.rounds in
@@ -1164,20 +1176,20 @@ let table8 ~quick () =
               ("notes", T.Str notes);
             ]
         in
-        let bk = !backend and bj = !jobs in
-        let bfs_res, s1 = Programs.bfs ~backend:bk ~jobs:bj g ~root:0 in
+        let be = !engine and bk = !backend and bj = !jobs in
+        let bfs_res, s1 = Programs.bfs ~engine:be ~backend:bk ~jobs:bj g ~root:0 in
         let _, s2 =
-          Programs.broadcast_max ~backend:bk ~jobs:bj g
+          Programs.broadcast_max ~engine:be ~backend:bk ~jobs:bj g
             ~values:(Array.init n Fun.id)
         in
-        let _, s3 = Programs.maximal_matching ~backend:bk ~jobs:bj g in
-        let _, s4 = Programs.luby_mis ~backend:bk ~jobs:bj ~seed:5 g in
-        let _, s5 = Programs.bellman_ford ~backend:bk ~jobs:bj gw ~source:0 in
-        let forest, s6 = Programs.spanning_forest ~backend:bk ~jobs:bj g in
+        let _, s3 = Programs.maximal_matching ~engine:be ~backend:bk ~jobs:bj g in
+        let _, s4 = Programs.luby_mis ~engine:be ~backend:bk ~jobs:bj ~seed:5 g in
+        let _, s5 = Programs.bellman_ford ~engine:be ~backend:bk ~jobs:bj gw ~source:0 in
+        let forest, s6 = Programs.spanning_forest ~engine:be ~backend:bk ~jobs:bj g in
         let bs_rows =
           List.map
             (fun k ->
-              let out = Bs_distributed.run ~backend:bk ~jobs:bj ~seed:7 ~k gw in
+              let out = Bs_distributed.run ~engine:be ~backend:bk ~jobs:bj ~seed:7 ~k gw in
               let st = out.Bs_distributed.network_stats in
               row
                 ~bounds:
@@ -1481,7 +1493,7 @@ let table_r1 ~quick () =
     pmap
       (fun (name, plan) ->
         let result, stats =
-          Programs.bfs ~faults:(Faults.make plan) ~backend:!backend
+          Programs.bfs ~faults:(Faults.make plan) ~engine:!engine ~backend:!backend
             ~jobs:!jobs g ~root:0
         in
         let reached =
@@ -1515,7 +1527,7 @@ let table_r1 ~quick () =
   let replay plan =
     let f = Faults.make plan in
     let result, stats =
-      Programs.bfs ~faults:f ~backend:!backend ~jobs:!jobs g ~root:0
+      Programs.bfs ~faults:f ~engine:!engine ~backend:!backend ~jobs:!jobs g ~root:0
     in
     (result, stats, Faults.events f)
   in
@@ -1637,7 +1649,7 @@ let table_o1 ~quick () =
   let trb = Trace.create g in
   let _, s =
     Profile.time profile "bfs" (fun () ->
-        Programs.bfs ~trace:trb ~backend:!backend ~jobs:!jobs g ~root:0)
+        Programs.bfs ~trace:trb ~engine:!engine ~backend:!backend ~jobs:!jobs g ~root:0)
   in
   let bfs_ok = s.Network.rounds <= ecc + 2 in
   let bfs_section =
@@ -1664,7 +1676,7 @@ let table_o1 ~quick () =
   let trs = Trace.create gw in
   let out =
     Profile.time profile "baswana-sen" (fun () ->
-        Bs_distributed.run ~trace:trs ~backend:!backend ~jobs:!jobs ~seed:7 ~k
+        Bs_distributed.run ~trace:trs ~engine:!engine ~backend:!backend ~jobs:!jobs ~seed:7 ~k
           gw)
   in
   let sb = out.Bs_distributed.network_stats in
@@ -1711,7 +1723,7 @@ let table_o1 ~quick () =
        let tr = Trace.create sub in
        let eids, sf =
          Profile.time profile "thurimella-forests" (fun () ->
-             Programs.spanning_forest ~trace:tr ~backend:!backend ~jobs:!jobs
+             Programs.spanning_forest ~trace:tr ~engine:!engine ~backend:!backend ~jobs:!jobs
                sub)
        in
        if !first_trace = None then first_trace := Some tr;
@@ -2424,6 +2436,104 @@ let table_d1 ~quick () =
     sections
 
 (* ------------------------------------------------------------------ *)
+(* V1 — verification plane: checker rounds and probe queries vs n      *)
+(* ------------------------------------------------------------------ *)
+
+let table_v1 ~quick () =
+  let sizes = if quick then [ 256; 512 ] else [ 256; 512; 1024 ] in
+  let k = 3 and ck = 2 in
+  let cols =
+    [
+      T.col ~w:7 "n";
+      T.col ~w:8 "m";
+      T.col ~w:8 ~title:"non-sp" "nonsp";
+      T.col ~w:7 ~title:"sp rnd" "sp_rounds";
+      T.col ~w:9 ~title:"sp msgs" "sp_msgs";
+      T.col ~w:6 "words";
+      T.col ~w:7 ~title:"ct rnd" "ct_rounds";
+      T.col ~w:9 ~title:"ct msgs" "ct_msgs";
+      T.col ~w:8 "samples";
+      T.col ~w:5 "cap";
+      T.col ~w:8 "queries";
+    ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        (* degree ~ n/8 keeps the spanner strictly sparser than the input
+           at every scale, so the walk checker always has tokens to route *)
+        let g = Gcache.gnp ~seed:47 ~n ~avg_degree:(fi n /. 8.) in
+        let sp = (Bs_derand.run ~k g).Bs_derand.spanner in
+        let w = Witness.spanner g ~k sp in
+        let cv =
+          Checkers.spanner ~engine:!engine ~backend:!backend ~jobs:!jobs g
+            ~keep:sp.Spanner.keep ~k ~detour:w.Witness.detour
+        in
+        let cert = Thurimella.certificate ~k:ck g in
+        let fv =
+          match Witness.certificate g cert with
+          | Error e -> failwith ("v1: no certificate witness: " ^ e)
+          | Ok cw ->
+              Checkers.forests ~engine:!engine ~backend:!backend ~jobs:!jobs g
+                ~keep:cert.Certificate.keep ~k:ck ~forest:cw.Witness.forest
+                ~parent:cw.Witness.parent ~depth:cw.Witness.depth
+                ~root:cw.Witness.root
+        in
+        let pv =
+          Eps_far.connectivity ~keep:sp.Spanner.keep ~seed:3 ~epsilon:0.1 g
+        in
+        let sps = cv.Checkers.stats and cts = fv.Checkers.stats in
+        T.row
+          ~bounds:
+            [
+              T.flag ~id:"accepted"
+                ~descr:"every node accepts all three verifications"
+                (w.Witness.missing = 0
+                && Checkers.all_accept cv && Checkers.all_accept fv
+                && pv.Eps_far.accepted);
+              T.le ~id:"sp-words<=2k+3"
+                ~descr:"walk-token payload: id, index, weight, <=2k hops"
+                (fi sps.Network.max_words)
+                (fi ((2 * k) + 3));
+              T.le ~id:"ct-rounds<=3"
+                ~descr:"the forest checker is O(1) rounds at every n"
+                (fi cts.Network.rounds) 3.0;
+              T.le ~id:"probe<=budget"
+                ~descr:"eps-far vertex queries within samples * cap"
+                (fi pv.Eps_far.vertex_queries)
+                (fi (pv.Eps_far.samples * pv.Eps_far.cap));
+            ]
+          [
+            ("n", T.Int n);
+            ("m", T.Int (Graph.m g));
+            ("nonsp", T.Int (Graph.m g - Spanner.size sp));
+            ("sp_rounds", T.Int sps.Network.rounds);
+            ("sp_msgs", T.Int sps.Network.messages);
+            ("words", T.Int sps.Network.max_words);
+            ("ct_rounds", T.Int cts.Network.rounds);
+            ("ct_msgs", T.Int cts.Network.messages);
+            ("samples", T.Int pv.Eps_far.samples);
+            ("cap", T.Int pv.Eps_far.cap);
+            ("queries", T.Int (pv.Eps_far.vertex_queries + pv.Eps_far.edge_queries));
+          ])
+      sizes
+  in
+  T.make ~id:"v1"
+    ~title:
+      "V1: verification plane — O(k)-round spanner walk checker, O(1)-round \
+       forest checker\n\
+       and eps-far probe budget as n grows"
+    ~params:[ ("quick", T.Bool quick); ("k", T.Int k); ("cert_k", T.Int ck) ]
+    ~notes:
+      [
+        "shape check: checker rounds depend on k and local congestion, not \
+         on n; the forest";
+        "checker is 2 rounds flat; probe queries track the eps-far sample \
+         budget, not m.";
+      ]
+    [ T.section ~rule:false ~cols "scaling" rows ]
+
+(* ------------------------------------------------------------------ *)
 (* XFAIL — hidden negative control for CI (--table xfail --strict       *)
 (* must exit 1; never part of the default selection)                    *)
 (* ------------------------------------------------------------------ *)
@@ -2513,7 +2623,7 @@ let all_tables =
     ("f1", fig1); ("t5", table5); ("t6", table6); ("t7", table7);
     ("t8", table8); ("t9", table9); ("r1", table_r1);
     ("a1", ablation_derand); ("a2", ablation_merge); ("o1", table_o1);
-    ("o2", table_o2); ("d1", table_d1);
+    ("o2", table_o2); ("d1", table_d1); ("v1", table_v1);
   ]
 
 let usage () =
@@ -2521,9 +2631,10 @@ let usage () =
     "usage: main.exe [--quick] [--all] [--table ID]... [--strict]\n\
     \                [--artifacts DIR] [--against DIR] [--tolerance PCT]\n\
     \                [--refresh-goldens] [--jobs N | -j N] [--metrics FILE]\n\
-    \                [--backend seq|sharded] [--bechamel]\n\
-     tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 o2 d1 (and xfail, \
-     the negative control)"
+    \                [--backend seq|sharded] [--engine fast|ref]\n\
+    \                [--verify local|exact|probe] [--bechamel]\n\
+     tables: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 r1 a1 a2 o1 o2 d1 v1 (and \
+     xfail, the negative control)"
 
 let die fmtstr =
   Printf.ksprintf
@@ -2543,6 +2654,7 @@ let () =
   and against = ref None
   and tolerance = ref 75.0
   and metrics_file = ref None
+  and verify_mode = ref None
   and tables = ref [] in
   let rec parse = function
     | [] -> ()
@@ -2571,12 +2683,31 @@ let () =
         | "sharded" -> backend := `Sharded
         | _ -> die "--backend expects seq or sharded, got %S" b);
         parse r
+    | "--engine" :: e :: r ->
+        (match e with
+        | "fast" -> engine := `Fast
+        | "ref" -> engine := `Ref
+        | _ -> die "--engine expects fast or ref, got %S" e);
+        parse r
+    | "--verify" :: m :: r ->
+        (match Verify.mode_of_string m with
+        | Ok mode -> verify_mode := Some mode
+        | Error e -> die "%s" e);
+        parse r
     | [ (("--table" | "--artifacts" | "--against" | "--tolerance" | "--jobs"
-        | "-j" | "--metrics" | "--backend") as f) ] ->
+        | "-j" | "--metrics" | "--backend" | "--engine" | "--verify") as f) ]
+      ->
         die "%s needs an argument" f
     | a :: _ -> die "unknown argument %S" a
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* same contradiction, same one-line diagnostic as the CLI *)
+  if !engine = `Ref && !backend = `Sharded then begin
+    prerr_endline
+      "main.exe: --engine ref has no sharded delivery backend (drop \
+       --backend sharded or use --engine fast)";
+    exit 1
+  end;
   (match !metrics_file with
   | None -> ()
   | Some _ ->
@@ -2635,6 +2766,34 @@ let () =
             end
         | None -> written := !written + 1; ignore (T.save ~dir:!artifacts_dir t))
       sel;
+    (match !verify_mode with
+    | None -> ()
+    | Some mode ->
+        (* post-table gate: verify freshly built artifacts in the
+           requested mode; a rejection is a bound violation, so --strict
+           turns it into exit 1 *)
+        let n = if !quick then 256 else 512 in
+        let g = Gcache.gnp ~seed:47 ~n ~avg_degree:(fi n /. 8.) in
+        let sp = (Bs_derand.run ~k:3 g).Bs_derand.spanner in
+        let vs =
+          Verify.spanner ~engine:!engine ~backend:!backend ~jobs:!jobs ~mode
+            ~k:3 g sp
+        in
+        let cert = Thurimella.certificate ~k:2 g in
+        let vc =
+          Verify.certificate ~engine:!engine ~backend:!backend ~jobs:!jobs
+            ~mode g cert
+        in
+        List.iter
+          (fun (v : Verify.verdict) ->
+            incr checked;
+            fmt "[verify %s]\n" (Format.asprintf "%a" Verify.pp_verdict v);
+            if not v.Verify.ok then begin
+              incr viols;
+              Printf.eprintf "VERIFY REJECTED %s (%s mode)\n" v.Verify.target
+                (Verify.mode_name mode)
+            end)
+          [ vs; vc ]);
     fmt "\n[%d bound(s) checked, %d violated]\n" !checked !viols;
     fmt "[graph cache: %d hit(s), %d miss(es)]\n" !Gcache.hits !Gcache.misses;
     (match !against with

@@ -90,6 +90,28 @@ let check_engine_backend engine backend =
                 sharded or use --engine fast)"
   | _ -> ()
 
+let verify_mode_enum =
+  Arg.enum
+    [ ("local", Verify.Local); ("exact", Verify.Exact); ("probe", Verify.Probe) ]
+
+let verify_arg =
+  Arg.(
+    value
+    & opt (some verify_mode_enum) None
+    & info [ "verify" ] ~docv:"MODE"
+        ~doc:
+          "Verify the produced artifact before exiting: local (build \
+           per-node witnesses and run the O(k)-round CONGEST checker \
+           programs on the simulator), exact (the centralized ground-truth \
+           checkers), or probe (the sublinear eps-far connectivity \
+           spot-check).  Exit 1 if the artifact is rejected.")
+
+(* Shared tail of every --verify run: print the canonical verdict line,
+   exit 1 on rejection (after [k] so metrics snapshots still flush). *)
+let report_verdict v =
+  Format.printf "verify          : %a@." Verify.pp_verdict v;
+  v.Verify.ok
+
 let metrics_arg =
   Arg.(
     value
@@ -230,27 +252,36 @@ let build_certificate ~algo ~k ~eps ~seed g =
 
 (* ---------- spanner ---------- *)
 
-let spanner algo k t engine backend breakdown jobs mfile input family n degree
-    max_w seed output =
+let spanner algo k t engine backend breakdown jobs verify mfile input family n
+    degree max_w seed output =
   check_engine_backend engine backend;
   let g = load_graph input family n degree max_w seed in
   Format.printf "input: %a@." Graph.pp g;
-  with_metrics mfile @@ fun metrics ->
-  let sp = build_spanner ~engine ?backend ~jobs ~metrics ~algo ~k ~t ~seed g in
-  Printf.printf "spanner edges   : %d (%.2f per vertex)\n" (Spanner.size sp)
-    (float_of_int (Spanner.size sp) /. float_of_int (Graph.n g));
-  Printf.printf "spanning        : %b\n" (Spanner.is_spanning g sp);
-  if Graph.n g <= 4096 then
-    Printf.printf "exact stretch   : %.2f\n"
-      (Stretch.max_edge_stretch ~jobs g sp.Spanner.keep);
-  Printf.printf "simulated rounds: %d\n" (Spanner.total_rounds sp);
-  if breakdown then
-    Format.printf "round breakdown : %a@." Rounds.pp sp.Spanner.rounds;
-  match output with
-  | None -> ()
-  | Some path ->
-      Graph_io.save path (Graph.sub_by_eids g sp.Spanner.keep);
-      Printf.printf "wrote spanner to %s\n" path
+  let ok =
+    with_metrics mfile @@ fun metrics ->
+    let sp = build_spanner ~engine ?backend ~jobs ~metrics ~algo ~k ~t ~seed g in
+    Printf.printf "spanner edges   : %d (%.2f per vertex)\n" (Spanner.size sp)
+      (float_of_int (Spanner.size sp) /. float_of_int (Graph.n g));
+    Printf.printf "spanning        : %b\n" (Spanner.is_spanning g sp);
+    if Graph.n g <= 4096 then
+      Printf.printf "exact stretch   : %.2f\n"
+        (Stretch.max_edge_stretch ~jobs g sp.Spanner.keep);
+    Printf.printf "simulated rounds: %d\n" (Spanner.total_rounds sp);
+    if breakdown then
+      Format.printf "round breakdown : %a@." Rounds.pp sp.Spanner.rounds;
+    (match output with
+    | None -> ()
+    | Some path ->
+        Graph_io.save path (Graph.sub_by_eids g sp.Spanner.keep);
+        Printf.printf "wrote spanner to %s\n" path);
+    match verify with
+    | None -> true
+    | Some mode ->
+        (* the (2k-1) bound comes from --k, whatever --algo built *)
+        report_verdict
+          (Verify.spanner ~engine ?backend ~jobs ~seed ~mode ~k g sp)
+  in
+  if not ok then exit 1
 
 let spanner_algo_arg =
   Arg.(
@@ -284,7 +315,7 @@ let spanner_cmd =
       const spanner $ spanner_algo_arg
       $ k_arg "Stretch parameter k (stretch 2k-1)."
       $ t_arg $ engine_arg $ backend_arg $ breakdown_arg $ jobs_arg
-      $ metrics_arg
+      $ verify_arg $ metrics_arg
       $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg
       $ output_arg)
 
@@ -330,8 +361,8 @@ let certificate_cmd =
 let validate_k who k =
   if k < 1 then failwith (Printf.sprintf "%s: k must be >= 1 (got %d)" who k)
 
-let resilience algo spanner_algo k t eps budget trials failures input family n
-    degree max_w seed =
+let resilience algo spanner_algo k t eps budget trials failures verify input
+    family n degree max_w seed =
   validate_k "resilience" k;
   if budget < 1 then
     failwith (Printf.sprintf "resilience: budget must be >= 1 (got %d)" budget);
@@ -352,7 +383,12 @@ let resilience algo spanner_algo k t eps budget trials failures input family n
         Resilience.check_spanner ~rng:(Rng.create seed) ~trials ~failures g
           sp.Spanner.keep
       in
-      Format.printf "%a@." Resilience.pp_spanner_report r
+      Format.printf "%a@." Resilience.pp_spanner_report r;
+      (match verify with
+      | None -> ()
+      | Some mode ->
+          if not (report_verdict (Verify.spanner ~seed ~mode ~k g sp)) then
+            exit 1)
   | None ->
       let c = build_certificate ~algo ~k ~eps ~seed g in
       Printf.printf "certificate %s: %d edges (k = %d)\n" algo
@@ -360,7 +396,12 @@ let resilience algo spanner_algo k t eps budget trials failures input family n
       let r = Resilience.check_certificate ~rng:(Rng.create seed) ~budget g c in
       Format.printf "%a@." Resilience.pp_cert_report r;
       Printf.printf "resilient        : %b\n" (r.Resilience.violations = 0);
-      if r.Resilience.violations > 0 then exit 1
+      let verified =
+        match verify with
+        | None -> true
+        | Some mode -> report_verdict (Verify.certificate ~seed ~mode g c)
+      in
+      if r.Resilience.violations > 0 || not verified then exit 1
 
 let spanner_opt_arg =
   Arg.(
@@ -402,13 +443,13 @@ let resilience_cmd =
     Term.(
       const resilience $ cert_algo_arg $ spanner_opt_arg
       $ k_arg "Connectivity / stretch parameter k."
-      $ t_arg $ eps_arg $ budget_arg $ trials_arg $ failures_arg $ input_arg
-      $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg)
+      $ t_arg $ eps_arg $ budget_arg $ trials_arg $ failures_arg $ verify_arg
+      $ input_arg $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg)
 
 (* ---------- stream ---------- *)
 
 let stream replay emit batches ops insert_frac from_faults mode cert cert_k k
-    jobs mfile input family n degree max_w seed output =
+    jobs verify mfile input family n degree max_w seed output =
   validate_k "stream" k;
   if jobs < 1 then
     failwith (Printf.sprintf "stream: jobs must be >= 1 (got %d)" jobs);
@@ -440,12 +481,20 @@ let stream replay emit batches ops insert_frac from_faults mode cert cert_k k
       let s = if path = "-" then make_stream () else Update_stream.load path in
       Format.printf "input: %a@." Graph.pp g;
       Format.printf "stream: %a@." Update_stream.pp s;
+      (* --verify picks the per-batch recertification mode of the engine *)
+      let recert =
+        match verify with
+        | Some Verify.Local -> `Local
+        | Some Verify.Probe -> `Probe
+        | None | Some Verify.Exact -> `Exact
+      in
       let cfg =
         {
           (Repair.defaults ~k) with
           Repair.mode;
           cert = Option.map (fun algo -> (algo, cert_k)) cert;
           jobs;
+          recert;
         }
       in
       (match cfg.Repair.cert with
@@ -565,8 +614,40 @@ let stream_cmd =
       $ insert_frac_arg $ from_faults_arg $ mode_arg $ cert_opt_arg
       $ cert_k_arg
       $ k_arg "Stretch parameter k (stretch 2k-1)."
-      $ jobs_arg $ metrics_arg $ input_arg $ family_arg $ n_arg $ degree_arg
-      $ weights_arg $ seed_arg $ output_arg)
+      $ jobs_arg $ verify_arg $ metrics_arg $ input_arg $ family_arg $ n_arg
+      $ degree_arg $ weights_arg $ seed_arg $ output_arg)
+
+(* ---------- verify ---------- *)
+
+let verify_matrix engine backend jobs quick seed =
+  check_engine_backend engine backend;
+  let ok =
+    Verify.matrix ~engine ?backend ~jobs ~seed ~quick Format.std_formatter
+  in
+  if not ok then exit 1
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Small graphs (the CI verify job's per-configuration setting).")
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the corruption-detection matrix of the verification plane: \
+          build valid spanners and connectivity certificates, check the \
+          CONGEST checker programs accept them, then apply seeded \
+          corruptions (dropped spanner edges, truncated / detached / \
+          erased detours, dropped forest arcs, flipped forest labels, \
+          corrupted depth and root labels) and check every one is \
+          rejected, plus eps-far probe controls.  The transcript is \
+          canonical: byte-identical across --engine, --backend and -j \
+          (CI diffs it with cmp).  Exits non-zero on any miss.")
+    Term.(
+      const verify_matrix $ engine_arg $ backend_arg $ jobs_arg $ quick_arg
+      $ seed_arg)
 
 (* ---------- trace ---------- *)
 
@@ -823,7 +904,7 @@ let () =
     Cmd.group info
       [
         generate_cmd; stats_cmd; spanner_cmd; certificate_cmd; resilience_cmd;
-        stream_cmd; trace_cmd; metrics_cmd; report_cmd;
+        stream_cmd; verify_cmd; trace_cmd; metrics_cmd; report_cmd;
       ]
   in
   (* Domain errors (unknown algorithm/family/program, unreadable input,

@@ -41,7 +41,19 @@
       round-trip); {!Repair} — incremental spanner repair with a rebuild
       fallback and lazy, headroom-based recertification of connectivity
       certificates, recertified after every batch by the ground-truth
-      checkers. *)
+      checkers (or, optionally, by the local checkers below).
+
+    {1 Verification plane}
+
+    - {!Witness} — witness builders attaching locally checkable
+      certificates to outputs (per-edge detour witnesses for spanners,
+      forest-membership labels for connectivity certificates);
+      {!Checkers} — the CONGEST checker programs verifying them
+      distributedly (every node outputs an accept/reject bit);
+      {!Eps_far} — sublinear bounded-BFS ε-far connectivity probes;
+      {!Verify} — the front door ([local] / [exact] / [probe] modes)
+      and the seeded corruption-detection matrix behind the CI
+      [verify] job. *)
 
 (* Utilities *)
 module Rng = Ultraspan_util.Rng
@@ -106,6 +118,12 @@ module Sf_distributed = Ultraspan_spanner.Sf_distributed
 (* Dynamic graphs *)
 module Update_stream = Ultraspan_dynamic.Update_stream
 module Repair = Ultraspan_dynamic.Repair
+
+(* Verification plane *)
+module Checkers = Ultraspan_congest.Checkers
+module Witness = Ultraspan_verify.Witness
+module Eps_far = Ultraspan_verify.Eps_far
+module Verify = Ultraspan_verify.Verify
 
 (* Experiment artifacts *)
 module Exp_json = Ultraspan_exp.Json

@@ -9,6 +9,7 @@ type config = {
   headroom : int;
   max_affected : float;
   jobs : int;
+  recert : [ `Exact | `Local | `Probe ];
 }
 
 let defaults ~k =
@@ -20,6 +21,7 @@ let defaults ~k =
     headroom = k;
     max_affected = 0.25;
     jobs = Parallel.default_jobs ();
+    recert = `Exact;
   }
 
 type outcome = {
@@ -454,25 +456,87 @@ let apply_batch t batch =
 let apply_stream t stream =
   List.map (apply_batch t) stream.Update_stream.batches
 
-let recertify ?rng ?(budget = 200) t =
-  let jobs = t.cfg.jobs in
+let spanner_of_keep g keep =
+  let eids = ref [] in
+  Array.iteri (fun e b -> if b then eids := e :: !eids) keep;
+  Spanner.of_eids g !eids
+
+(* Local recertification: witness + O(k)-round CONGEST checkers instead of
+   the O(nm) ground truth.  An accepting run certifies the stretch bound
+   (2k-1) without measuring the exact stretch, so [stretch] reports the
+   certified bound on accept and [infinity] on reject. *)
+let recertify_local t =
   let alpha = float_of_int ((2 * t.cfg.k) - 1) in
-  let stretch = Stretch.max_edge_stretch ~jobs t.g t.keep in
-  let stretch_ok = Stretch.check_stretch ~jobs t.g t.keep alpha in
-  let spanning = Connectivity.spans t.g t.keep in
-  match certificate t with
-  | None ->
-      { stretch; stretch_ok; spanning; cert_ok = None; cert_violations = None }
-  | Some c ->
-      let cert_ok = Certificate.is_certificate t.g c in
-      let r = Resilience.check_certificate ?rng ~budget t.g c in
-      {
-        stretch;
-        stretch_ok;
-        spanning;
-        cert_ok = Some cert_ok;
-        cert_violations = Some r.Resilience.violations;
-      }
+  let sp = spanner_of_keep t.g t.keep in
+  let v = Verify.spanner ~jobs:t.cfg.jobs ~mode:Verify.Local ~k:t.cfg.k t.g sp in
+  let sp_ok = v.Verify.ok in
+  let cert_ok =
+    match certificate t with
+    | None -> None
+    | Some c ->
+        Some (Verify.certificate ~jobs:t.cfg.jobs ~mode:Verify.Local t.g c)
+          .Verify.ok
+  in
+  {
+    stretch = (if sp_ok then alpha else infinity);
+    stretch_ok = sp_ok;
+    spanning = sp_ok;
+    cert_ok;
+    cert_violations = None;
+  }
+
+(* Probe recertification: sublinear eps-far connectivity spot-checks only.
+   Stretch is out of a probe's reach, so the stretch fields are vacuous
+   ([stretch = 0.], [stretch_ok = true]); an accept certifies nothing more
+   than "not eps-far from connected". *)
+let recertify_probe t =
+  let seed = t.batches + 1 in
+  let probe keep =
+    (Eps_far.connectivity ~keep ~seed ~epsilon:0.1 t.g).Eps_far.accepted
+  in
+  let spanning = probe t.keep in
+  let cert_ok =
+    match certificate t with
+    | None -> None
+    | Some c -> Some (probe c.Certificate.keep)
+  in
+  {
+    stretch = 0.;
+    stretch_ok = true;
+    spanning;
+    cert_ok;
+    cert_violations = None;
+  }
+
+let recertify ?rng ?(budget = 200) t =
+  match t.cfg.recert with
+  | `Local -> recertify_local t
+  | `Probe -> recertify_probe t
+  | `Exact -> (
+      let jobs = t.cfg.jobs in
+      let alpha = float_of_int ((2 * t.cfg.k) - 1) in
+      let stretch = Stretch.max_edge_stretch ~jobs t.g t.keep in
+      let stretch_ok = Stretch.check_stretch ~jobs t.g t.keep alpha in
+      let spanning = Connectivity.spans t.g t.keep in
+      match certificate t with
+      | None ->
+          {
+            stretch;
+            stretch_ok;
+            spanning;
+            cert_ok = None;
+            cert_violations = None;
+          }
+      | Some c ->
+          let cert_ok = Certificate.is_certificate t.g c in
+          let r = Resilience.check_certificate ?rng ~budget t.g c in
+          {
+            stretch;
+            stretch_ok;
+            spanning;
+            cert_ok = Some cert_ok;
+            cert_violations = Some r.Resilience.violations;
+          })
 
 let pp_outcome ppf o =
   Format.fprintf ppf
@@ -493,4 +557,7 @@ let pp_verdicts ppf v =
         Format.asprintf " cert(%s, %d violations)"
           (if ok then "ok" else "BROKEN")
           viol
+    | Some ok, None ->
+        (* local / probe recertification: no failure-set sampling *)
+        Format.asprintf " cert(%s)" (if ok then "ok" else "BROKEN")
     | _ -> "")

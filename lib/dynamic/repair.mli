@@ -66,6 +66,15 @@ type config = {
           [max_affected * spanner_size] spanner edges or yields more than
           [max_affected * m] candidates *)
   jobs : int;  (** domain-pool width for the verification kernels *)
+  recert : [ `Exact | `Local | `Probe ];
+      (** what {!recertify} runs: [`Exact] (default) — the centralized
+          ground-truth checkers; [`Local] — witness construction plus the
+          O(k)-round CONGEST checker programs ({!Ultraspan_verify.Verify}
+          [Local] mode): an accept certifies the stretch bound without
+          measuring exact stretch, so [verdicts.stretch] reports the
+          certified bound [2k-1] on accept and [infinity] on reject, and
+          [cert_violations] is [None]; [`Probe] — sublinear eps-far
+          connectivity spot-checks only (stretch fields vacuous). *)
 }
 
 val defaults : k:int -> config
@@ -152,9 +161,11 @@ val apply_batch : t -> Update_stream.batch -> outcome
 val apply_stream : t -> Update_stream.t -> outcome list
 
 val recertify : ?rng:Rng.t -> ?budget:int -> t -> verdicts
-(** Ground-truth verification of the current state ([budget] caps the
-    Resilience failure sets sampled, default 200).  Pure: the engine is
-    not modified. *)
+(** Verification of the current state in the configured {!config.recert}
+    mode.  [`Exact]: ground truth, [budget] caps the Resilience failure
+    sets sampled (default 200).  [`Local] / [`Probe]: see
+    {!config.recert}; [rng] and [budget] are unused there.  Pure: the
+    engine is not modified. *)
 
 val copy : t -> t
 (** Independent deep copy (shares only immutable data).  Lets harnesses

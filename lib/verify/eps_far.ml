@@ -1,0 +1,83 @@
+open! Import
+
+type report = {
+  accepted : bool;
+  witness : (int * int) option;
+  samples : int;
+  cap : int;
+  vertex_queries : int;
+  edge_queries : int;
+}
+
+let connectivity ?keep ~seed ~epsilon g =
+  if epsilon <= 0. then invalid_arg "Eps_far.connectivity: epsilon > 0";
+  let n = Graph.n g in
+  let live eid = match keep with None -> true | Some k -> k.(eid) in
+  (match keep with
+  | Some k when Array.length k <> Graph.m g ->
+      invalid_arg "Eps_far.connectivity: keep length mismatch"
+  | _ -> ());
+  if n <= 1 then
+    {
+      accepted = true;
+      witness = None;
+      samples = 0;
+      cap = 0;
+      vertex_queries = 0;
+      edge_queries = 0;
+    }
+  else begin
+    let m_live =
+      match keep with
+      | None -> Graph.m g
+      | Some k -> Array.fold_left (fun a b -> if b then a + 1 else a) 0 k
+    in
+    let d = max 1. (2. *. float_of_int m_live /. float_of_int n) in
+    let samples = max 1 (int_of_float (ceil (8. /. (epsilon *. d)))) in
+    let cap = max 2 (int_of_float (ceil (4. /. (epsilon *. d)))) in
+    let rng = Rng.create seed in
+    let seen = Array.make n false in
+    let vertex_queries = ref 0 in
+    let edge_queries = ref 0 in
+    let witness = ref None in
+    let performed = ref 0 in
+    (try
+       for _ = 1 to samples do
+         incr performed;
+         let start = Rng.int rng n in
+         let q = Queue.create () in
+         let visited = ref [] in
+         let count = ref 0 in
+         seen.(start) <- true;
+         visited := start :: !visited;
+         incr count;
+         Queue.add start q;
+         while (not (Queue.is_empty q)) && !count < cap do
+           let v = Queue.pop q in
+           incr vertex_queries;
+           Graph.iter_adj g v (fun u eid ->
+               incr edge_queries;
+               if live eid && not seen.(u) && !count < cap then begin
+                 seen.(u) <- true;
+                 visited := u :: !visited;
+                 incr count;
+                 Queue.add u q
+               end)
+         done;
+         let exhausted = Queue.is_empty q && !count < cap in
+         List.iter (fun v -> seen.(v) <- false) !visited;
+         if exhausted && !count < n then begin
+           witness := Some (start, !count);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    {
+      accepted = !witness = None;
+      witness = !witness;
+      samples = !performed;
+      cap;
+      vertex_queries = !vertex_queries;
+      edge_queries = !edge_queries;
+    }
+  end

@@ -1,0 +1,39 @@
+open! Import
+
+(** Sublinear ε-far connectivity probes (bounded-BFS property testing).
+
+    The Goldreich–Ron style spot-check for graphs too large for exact
+    verification: sample vertices and run a bounded BFS from each; a
+    component that is exhausted before the exploration cap is a
+    disconnection witness.  A graph that is ε-far from connected (more
+    than [ε d n / 2] edge edits away, [d] the average degree) has more
+    than [ε d n / 4] components, so most components are smaller than
+    [4/(ε d)] and a random vertex lands in one with constant
+    probability — the standard argument behind the sample and cap
+    budgets below.  The probe is one-sided: [`Accept] can be wrong (it
+    is a spot-check, not a proof), [`Reject] never is (it carries a
+    concrete witness component).
+
+    {b Query budget} (documented contract, reported in {!report}):
+    [samples = ceil(8/(ε d))] starts, each exploring at most
+    [cap = max 2 (ceil(4/(ε d)))] vertices, so vertex queries are at most
+    [samples * cap] and edge (adjacency-list) queries at most
+    [samples * cap * Δ] — all independent of [n]. *)
+
+type report = {
+  accepted : bool;
+  witness : (int * int) option;
+      (** [(start, size)]: a component of [size < n] vertices fully
+          explored below the cap — proof of disconnection. *)
+  samples : int;  (** BFS starts performed (stops early on a witness) *)
+  cap : int;  (** per-start vertex exploration cap *)
+  vertex_queries : int;  (** vertices popped across all starts *)
+  edge_queries : int;  (** adjacency entries scanned across all starts *)
+}
+
+val connectivity :
+  ?keep:bool array -> seed:int -> epsilon:float -> Graph.t -> report
+(** Probe the graph — or, with [?keep], the spanning subgraph of the
+    edges with [keep.(e) = true] (vertex set unchanged) — for
+    connectivity.  Deterministic for a fixed [seed].  Raises
+    [Invalid_argument] on [epsilon <= 0] or a mis-sized mask. *)

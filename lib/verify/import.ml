@@ -2,19 +2,15 @@
     this library). *)
 
 module Graph = Ultraspan_graph.Graph
-module Connectivity = Ultraspan_graph.Connectivity
+module Generators = Ultraspan_graph.Generators
 module Stretch = Ultraspan_graph.Stretch
-module Faults = Ultraspan_congest.Faults
+module Connectivity = Ultraspan_graph.Connectivity
+module Network = Ultraspan_congest.Network
+module Checkers = Ultraspan_congest.Checkers
 module Spanner = Ultraspan_spanner.Spanner
 module Bs_derand = Ultraspan_spanner.Bs_derand
 module Certificate = Ultraspan_certificate.Certificate
 module Thurimella = Ultraspan_certificate.Thurimella
-module Kecss = Ultraspan_certificate.Kecss
-module Resilience = Ultraspan_certificate.Resilience
+module Nagamochi_ibaraki = Ultraspan_certificate.Nagamochi_ibaraki
 module Util = Ultraspan_util
 module Rng = Ultraspan_util.Rng
-module Pqueue = Ultraspan_util.Pqueue
-module Bitset = Ultraspan_util.Bitset
-module Parallel = Ultraspan_util.Parallel
-module Verify = Ultraspan_verify.Verify
-module Eps_far = Ultraspan_verify.Eps_far

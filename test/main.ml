@@ -11,6 +11,7 @@ let () =
       ("decomp", Test_decomp.suite);
       ("spanner", Test_spanner.suite);
       ("certificate", Test_certificate.suite);
+      ("verify", Test_verify.suite);
       ("resilience", Test_resilience.suite);
       ("dynamic", Test_dynamic.suite);
       ("extensions", Test_extensions.suite);

@@ -117,6 +117,51 @@ let fault_stream_dedupes () =
     [ (0, [ (0, 1); (0, 5) ]) ]
     (Faults.to_update_stream g plan)
 
+let empty_plan_empty_stream () =
+  let g = Generators.cycle 6 in
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "no faults, no batches" []
+    (Faults.to_update_stream g Faults.empty);
+  let s = Update_stream.of_faults g Faults.empty in
+  Alcotest.(check int) "zero batches" 0 (Update_stream.batch_count s);
+  (* drop_prob alone is transient, not a topology change *)
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "drops-only plan is still empty" []
+    (Faults.to_update_stream g (Faults.with_drops 0.5 Faults.empty))
+
+let all_non_edges_empty_stream () =
+  (* every severed pair misses the graph: the whole stream vanishes *)
+  let g = Generators.path 6 in
+  let plan =
+    Faults.sever ~round:0 0 2
+      (Faults.sever ~round:1 1 4 (Faults.sever ~round:2 0 5 Faults.empty))
+  in
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "nothing to delete" []
+    (Faults.to_update_stream g plan);
+  Alcotest.(check int) "zero batches" 0
+    (Update_stream.batch_count (Update_stream.of_faults g plan))
+
+let crash_only_plan_replays () =
+  (* crash-stop-only: each round's batch removes the node's surviving
+     incident edges, and the stream replays strictly (no double deletes
+     even when the second crash's neighbourhood overlaps the first's) *)
+  let g = Generators.cycle 5 in
+  let plan = Faults.crash ~round:2 1 (Faults.crash ~round:0 0 Faults.empty) in
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "overlap deduped across rounds"
+    [ (0, [ (0, 1); (0, 4) ]); (2, [ (1, 2) ]) ]
+    (Faults.to_update_stream g plan);
+  let s = Update_stream.of_faults g plan in
+  let g' = Update_stream.apply_all g s in
+  Alcotest.(check int) "two edges survive" 2 (Graph.m g');
+  Alcotest.(check bool) "out-of-range crash rejected" true
+    (match
+       Faults.to_update_stream g (Faults.crash ~round:0 9 Faults.empty)
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ---------- repair engine ---------- *)
 
 let graph_bytes g = Graph_io.to_string g
@@ -316,6 +361,9 @@ let suite =
     case "faults: link failures become deletions" faults_become_deletions;
     case "faults: crash kills incident edges" crash_kills_incident_edges;
     case "faults: dedupe and non-edges" fault_stream_dedupes;
+    case "faults: empty plan, empty stream" empty_plan_empty_stream;
+    case "faults: all-non-edge plan is empty" all_non_edges_empty_stream;
+    case "faults: crash-stop-only plan replays" crash_only_plan_replays;
     repair_matches_rebuild;
     engine_graph_matches_apply_all;
     weighted_streams_keep_bound;
