@@ -11,7 +11,12 @@
      tables:seq/tables:par — identical outputs, wall-clock apart);
    - the self-healing engine: the same update stream applied by the
      incremental repair engine vs the rebuild-every-batch baseline
-     (dynamic:repair/dynamic:rebuild), measured in updates per second.
+     (dynamic:repair/dynamic:rebuild), measured in updates per second;
+   - the distance-oracle serving layer (schema v6): compiling a built
+     spanner into the ultraspan-oracle/1 artifact (oracle:compile) and
+     serving a hot-skewed batch of distance/membership queries from it at
+     jobs=1 vs jobs=N (oracle:query:seq/oracle:query:par) — identical
+     answers by construction, wall-clock (queries/sec) apart.
 
    Efficiency metrics (schema v4): dedicated instrumented runs through the
    unified metrics plane record how well the machinery is used, not just
@@ -36,9 +41,9 @@
    re-proves the identity at n = 1e6 (states, stats and stripped metric
    exposition compared across seq, sharded -j 1 and sharded -j 4).
 
-   Results are written as JSON (schema ultraspan-perf/5, default
+   Results are written as JSON (schema ultraspan-perf/6, default
    [BENCH_congest.json]) so future PRs can diff against the recorded
-   baseline; v1-v4 baselines (no sharded section, etc.) still load.
+   baseline; v1-v5 baselines (no oracle section, etc.) still load.
 
    Usage:
      perf [--quick] [--jobs N] [-o FILE]   run the suite, write FILE
@@ -61,7 +66,9 @@
         absolute floor and stay within PCT of the recorded ratio, and
         against a v5 baseline the sharded-vs-seq message-plane speedup at
         n=1e5 must clear a 1.5x absolute floor (>= 4 cores only, same
-        skip rule as the stretch gate).
+        skip rule as the stretch gate).  Against a v6 baseline the oracle
+        batch queries/sec speedup at jobs=N must clear the same 1.5x
+        absolute floor under the same core-aware skip rule.
         [--suites] additionally gates each suite's ns/run — opt-in because
         absolute wall-clock does not transfer across CI machines. *)
 
@@ -163,6 +170,31 @@ let dyn_workload ~quick =
   let inc0 = Repair.create cfg g in
   let rb0 = Repair.create { cfg with Repair.mode = `Rebuild } g in
   (g, stream, inc0, rb0)
+
+(* Oracle workload: one deterministic spanner compiled into the
+   ultraspan-oracle/1 artifact, then a hot-skewed batch of
+   distance/membership queries served from it.  The compile suite measures
+   the artifact build; the query suites measure batch throughput at jobs=1
+   vs jobs=N — byte-identical answers either way, so only queries/sec
+   separates them.  A generous cache capacity keeps the serving runs out
+   of eviction churn: the suites measure the engine, not cache sizing. *)
+let oracle_n ~quick = if quick then 512 else 1024
+let oracle_k = 3
+let oracle_query_count ~quick = if quick then 2048 else 4096
+let oracle_cache_capacity = 1024
+
+let oracle_workload ~quick =
+  let g =
+    Generators.connected_gnp ~rng:(Rng.create 19) ~n:(oracle_n ~quick)
+      ~avg_degree:16.0
+  in
+  let sp = (Bs_derand.run ~k:oracle_k g).Bs_derand.spanner in
+  let o = Oracle.compile g ~k:oracle_k sp in
+  let qs =
+    Query_engine.generate ~rng:(Rng.create 21) ~n:(oracle_n ~quick)
+      ~count:(oracle_query_count ~quick)
+  in
+  (g, sp, o, qs)
 
 (* ------------------------------------------------------------------ *)
 (* measurement                                                         *)
@@ -304,6 +336,22 @@ let parallel_rows ~quick =
     measure ~quick ~name:"tables:par" ~kind:"parallel" ~n ~messages:0
       ~rounds:0
       (trials !par_jobs);
+  ]
+
+let oracle_rows ~quick =
+  let g, sp, o, qs = oracle_workload ~quick in
+  let n = oracle_n ~quick in
+  let serve jobs () =
+    ignore (Query_engine.run ~jobs ~cache_capacity:oracle_cache_capacity o qs)
+  in
+  [
+    measure ~quick ~name:"oracle:compile" ~kind:"oracle" ~n ~messages:0
+      ~rounds:0 (fun () -> ignore (Oracle.compile g ~k:oracle_k sp));
+    measure ~quick ~name:"oracle:query:seq" ~kind:"oracle" ~n ~messages:0
+      ~rounds:0 (serve 1);
+    measure ~quick ~name:"oracle:query:par" ~kind:"oracle" ~n ~messages:0
+      ~rounds:0
+      (serve !par_jobs);
   ]
 
 let dynamic_rows ~quick =
@@ -478,9 +526,16 @@ let run_suite ~quick =
     (Parallel.available_cores ());
   let par = parallel_rows ~quick in
   Printf.printf
+    "perf: oracle serving (n=%d, k=%d, %d queries, jobs=%d on %d core(s))...\n%!"
+    (oracle_n ~quick) oracle_k
+    (oracle_query_count ~quick)
+    !par_jobs
+    (Parallel.available_cores ());
+  let orc = oracle_rows ~quick in
+  Printf.printf
     "perf: dynamic repair vs rebuild (torus %dx%d, %d batches x %d ops)...\n%!"
     (dyn_side ~quick) (dyn_side ~quick) dyn_batches dyn_ops;
-  mp @ sharded @ proto @ par @ dynamic_rows ~quick
+  mp @ sharded @ proto @ par @ orc @ dynamic_rows ~quick
 
 let speedup_of rows =
   let fast = List.find (fun r -> r.name = "mp:fast") rows in
@@ -537,12 +592,12 @@ let print_rows rows =
 (* JSON output (shared Exp_json encoder — schema ultraspan-perf/1)     *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "ultraspan-perf/5"
+let schema = "ultraspan-perf/6"
 
 let accepted_schemas =
   [
     "ultraspan-perf/1"; "ultraspan-perf/2"; "ultraspan-perf/3";
-    "ultraspan-perf/4"; schema;
+    "ultraspan-perf/4"; "ultraspan-perf/5"; schema;
   ]
 
 (* A failed OLS estimate is NaN; encode it as 0.0 so the file stays valid
@@ -633,6 +688,25 @@ let json_of_run ~quick ~eff rows =
             ("stretch_speedup", J.Float (fin (par_speedup_of rows "stretch")));
             ("tables_speedup", J.Float (fin (par_speedup_of rows "tables")));
           ] );
+      ( "oracle",
+        let count = oracle_query_count ~quick in
+        let qps name =
+          match List.find_opt (fun r -> r.name = name) rows with
+          | Some r when r.ns_per_run > 0.0 ->
+              float_of_int count /. (r.ns_per_run *. 1e-9)
+          | _ -> 0.0
+        in
+        J.Obj
+          [
+            ("cores", J.Int (Parallel.available_cores ()));
+            ("jobs", J.Int !par_jobs);
+            ("n", J.Int (oracle_n ~quick));
+            ("k", J.Int oracle_k);
+            ("queries", J.Int count);
+            ("seq_queries_per_sec", J.Float (fin (qps "oracle:query:seq")));
+            ("par_queries_per_sec", J.Float (fin (qps "oracle:query:par")));
+            ("speedup", J.Float (fin (par_speedup_of rows "oracle:query")));
+          ] );
       ("efficiency", json_of_efficiency eff);
       ( "dynamic",
         let updates = dyn_batches * dyn_ops in
@@ -711,6 +785,18 @@ let validate file =
       let s = J.num (J.field "repair_speedup" d) in
       if not (Float.is_finite s && s > 0.0) then
         raise (J.Error "bad dynamic.repair_speedup"));
+  (match J.field_opt "oracle" j with
+  | None -> ()
+  | Some o ->
+      if J.int (J.field "cores" o) <= 0 then raise (J.Error "bad oracle.cores");
+      if J.int (J.field "queries" o) <= 0 then
+        raise (J.Error "bad oracle.queries");
+      let q = J.num (J.field "seq_queries_per_sec" o) in
+      if not (Float.is_finite q && q > 0.0) then
+        raise (J.Error "bad oracle.seq_queries_per_sec");
+      let s = J.num (J.field "speedup" o) in
+      if not (Float.is_finite s && s > 0.0) then
+        raise (J.Error "bad oracle.speedup"));
   (match J.field_opt "efficiency" j with
   | None -> ()
   | Some e ->
@@ -829,6 +915,38 @@ let against ~quick ~tolerance ~suites_gate ~min_util ~max_waste ~eff
           "mp:sharded speedup %.2fx below relative floor %.2fx (baseline \
            %.2fx)"
           cur_sh rel_floor base_sh);
+  (* Oracle gate: the batch query engine's jobs=N throughput must keep
+     beating the sequential run — the same core-aware skip rule as the
+     other pool ratios, and only against a v6 baseline that recorded the
+     oracle section. *)
+  (match J.field_opt "oracle" j with
+  | None ->
+      Printf.printf
+        "oracle gate: skipped (baseline %s has no oracle section)\n"
+        baseline_file
+  | Some p when cores < 4 ->
+      let base_cores = J.int (J.field "cores" p) in
+      Printf.printf
+        "oracle gate: skipped (%d core(s) here, baseline recorded %d — the \
+         batch queries/sec ratio cannot manifest below 4 cores)\n"
+        cores base_cores
+  | Some p ->
+      let abs_floor = 1.5 in
+      let base_q = J.num (J.field "speedup" p) in
+      let cur_q = par_speedup_of rows "oracle:query" in
+      let rel_floor = base_q *. (1.0 -. tol) in
+      Printf.printf
+        "oracle:query speedup: %.2fx now vs %.2fx baseline (floors: %.2fx \
+         absolute, %.2fx relative)\n"
+        cur_q base_q abs_floor rel_floor;
+      if not (Float.is_finite cur_q) || cur_q < abs_floor then
+        fail "oracle:query speedup %.2fx below the %.2fx floor at %d cores"
+          cur_q abs_floor cores
+      else if cur_q < rel_floor then
+        fail
+          "oracle:query speedup %.2fx below relative floor %.2fx (baseline \
+           %.2fx)"
+          cur_q rel_floor base_q);
   (* Dynamic gate: incremental repair must keep beating the rebuild
      baseline on the same stream — a ratio of the same workload on the
      same machine, so it transfers like the other ratio gates. *)
@@ -1094,6 +1212,9 @@ let () =
       Printf.printf "sharded-vs-seq speedup at n=%d: %.2fx (%d core(s))\n"
         gate_big_n
         (sharded_speedup_of rows)
+        (Parallel.available_cores ());
+      Printf.printf "oracle batch-query speedup: %.2fx (%d core(s))\n"
+        (par_speedup_of rows "oracle:query")
         (Parallel.available_cores ());
       Printf.printf "wrote %s\n" file;
       if failures > 0 then begin

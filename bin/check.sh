@@ -31,6 +31,10 @@
 #   verify      verification plane: the corruption matrix transcript is
 #               byte-identical across engines/backends/job counts, every
 #               corruption is rejected, and the bench --verify gate passes
+#   oracle      serving layer: compile -> query round-trips end-to-end with
+#               local verification, the result file is byte-identical at
+#               -j 1 and -j 4, and a corrupted artifact is rejected with a
+#               one-line diagnostic and exit 1
 #   efficiency  perf efficiency gate against the committed BENCH_congest.json
 #               (includes the floors) plus its negative control
 #   perf        perf regression gate against BENCH_congest.json
@@ -39,7 +43,7 @@
 set -eu
 cd "$(dirname "$0")/.." || exit 1
 
-STAGES="build fmt lint trace metrics tables parallel stream xfail sharded verify efficiency perf"
+STAGES="build fmt lint trace metrics tables parallel stream xfail sharded verify oracle efficiency perf"
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -207,6 +211,32 @@ stage_verify() {
   # the post-table gate: V1 bounds + local verification of fresh artifacts
   dune exec bench/main.exe -- --quick --table v1 --strict --verify local \
     --artifacts "$tmp/verify-artifacts" >/dev/null
+}
+
+stage_oracle() {
+  # compile -> query round trip, with the spanner recertified on the
+  # original graph and sampled answers spot-checked against exact distances
+  dune exec bin/ultraspan_cli.exe -- compile --algo bs-derand --family gnp \
+    -n 300 --degree 8 --seed 3 -k 3 -o "$tmp/oracle.bin" >/dev/null
+  test -s "$tmp/oracle.bin"
+  dune exec bin/ultraspan_cli.exe -- query "$tmp/oracle.bin" --random 500 \
+    --seed 3 --family gnp -n 300 --degree 8 --verify local \
+    --emit-queries "$tmp/oracle-queries.txt" -o "$tmp/oracle-j1.txt" \
+    >/dev/null
+  # the emitted batch replayed over the pool must reproduce the result
+  # file byte-for-byte
+  dune exec bin/ultraspan_cli.exe -- query "$tmp/oracle.bin" \
+    --queries "$tmp/oracle-queries.txt" -j 4 -o "$tmp/oracle-j4.txt" \
+    >/dev/null
+  cmp "$tmp/oracle-j1.txt" "$tmp/oracle-j4.txt"
+  # a truncated artifact must be rejected with exit 1, not a backtrace
+  head -c 100 "$tmp/oracle.bin" >"$tmp/oracle-corrupt.bin"
+  if dune exec bin/ultraspan_cli.exe -- query "$tmp/oracle-corrupt.bin" \
+      --random 10 >/dev/null 2>"$tmp/oracle-err.txt"; then
+    echo "ERROR: corrupted oracle artifact was accepted" >&2
+    exit 1
+  fi
+  grep -q "not an ultraspan-oracle/1 artifact" "$tmp/oracle-err.txt"
 }
 
 stage_efficiency() {

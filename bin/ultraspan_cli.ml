@@ -841,7 +841,7 @@ let report dir full =
     (fun f ->
       let path = Filename.concat dir f in
       match T.load path with
-      | exception (Exp_json.Error msg | Failure msg) ->
+      | exception (Exp_json.Error msg | Failure msg | Sys_error msg) ->
           incr bad;
           Printf.printf "%-14s UNREADABLE (%s)\n" f msg
       | tbl ->
@@ -891,6 +891,155 @@ let report_cmd =
           non-zero if an artifact is unreadable or a bound is violated.")
     Term.(const report $ report_dir_arg $ report_full_arg)
 
+(* ---------- compile / query (distance-oracle serving layer) ---------- *)
+
+let compile algo k t jobs mfile input family n degree max_w seed output =
+  let g = load_graph input family n degree max_w seed in
+  Format.printf "input: %a@." Graph.pp g;
+  with_metrics mfile @@ fun metrics ->
+  let sp = build_spanner ~jobs ~metrics ~algo ~k ~t ~seed g in
+  let o = Oracle.compile g ~k sp in
+  Format.printf "%a@." Oracle.pp o;
+  Printf.printf "checksum        : %016Lx\n" (Oracle.checksum o);
+  let bytes = Oracle.save output o in
+  Printf.printf "wrote %s (%d bytes, %s)\n" output bytes Oracle.schema
+
+let oracle_out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the compiled ultraspan-oracle/1 artifact to $(docv).")
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Build a spanner and compile it into a servable ultraspan-oracle/1 \
+          binary artifact: CSR adjacency of the kept subgraph plus \
+          per-cluster shortest-path-tree metadata, checksummed.  The \
+          artifact is what the query subcommand serves from — the spanner \
+          is never rebuilt at query time.")
+    Term.(
+      const compile $ spanner_algo_arg
+      $ k_arg "Stretch parameter k (stretch 2k-1)."
+      $ t_arg $ jobs_arg $ metrics_arg $ input_arg $ family_arg $ n_arg
+      $ degree_arg $ weights_arg $ seed_arg $ oracle_out_arg)
+
+let query oracle_path qfile random emitq jobs verify mfile input family n
+    degree max_w seed output =
+  let o = Oracle.load oracle_path in
+  Format.printf "%a@." Oracle.pp o;
+  let qs =
+    match (qfile, random) with
+    | Some f, _ -> Query_engine.load_queries f
+    | None, r when r > 0 ->
+        Query_engine.generate ~rng:(Rng.create seed) ~n:(Oracle.n o) ~count:r
+    | None, _ -> failwith "query: give --queries FILE or --random COUNT"
+  in
+  (match emitq with
+  | Some f ->
+      Query_engine.save_queries f qs;
+      Printf.printf "wrote %d queries to %s (%s)\n" (Array.length qs) f
+        Query_engine.queries_schema
+  | None -> ());
+  let ok =
+    with_metrics mfile @@ fun metrics ->
+    let answers, st = Query_engine.run ~jobs ~metrics o qs in
+    Printf.printf "queries         : %d (%d dist, %d mem, %d unreachable)\n"
+      st.Query_engine.queries st.Query_engine.dist st.Query_engine.mem
+      st.Query_engine.unreachable;
+    Printf.printf "sssp cache      : %d hit(s), %d miss(es), %d eviction(s)\n"
+      st.Query_engine.cache_hits st.Query_engine.cache_misses
+      st.Query_engine.cache_evictions;
+    (match output with
+    | Some path ->
+        Query_engine.save_results path qs answers;
+        Printf.printf "wrote results to %s (%s)\n" path
+          Query_engine.results_schema
+    | None -> print_string (Query_engine.render_results qs answers));
+    match verify with
+    | None -> true
+    | Some mode ->
+        (* the original graph comes from the shared graph arguments; the
+           spanner itself is reconstructed from the artifact's edge ids,
+           so no --algo replay is needed *)
+        let g = load_graph input family n degree max_w seed in
+        if Graph.m g <> o.Oracle.orig_m then
+          failwith
+            (Printf.sprintf
+               "%s was compiled against a graph with %d edges, but the given \
+                graph has %d (pass the compile-time graph arguments)"
+               oracle_path o.Oracle.orig_m (Graph.m g));
+        let eids = ref [] in
+        for e = Oracle.m o - 1 downto 0 do
+          eids := o.Oracle.orig_eid.{e} :: !eids
+        done;
+        let sp = Spanner.of_eids g !eids in
+        let verdict_ok =
+          report_verdict
+            (Verify.spanner ~jobs ~seed ~mode ~k:o.Oracle.k g sp)
+        in
+        (match
+           Query_engine.spot_check ~rng:(Rng.create seed) g o qs answers
+         with
+        | Ok c ->
+            Printf.printf
+              "spot-check      : %d sampled answer(s) within (2k-1) bounds\n" c;
+            verdict_ok
+        | Error m ->
+            Printf.printf "spot-check      : FAILED (%s)\n" m;
+            false)
+  in
+  if not ok then exit 1
+
+let oracle_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ORACLE"
+        ~doc:"Compiled ultraspan-oracle/1 artifact (from the compile \
+              subcommand).")
+
+let queries_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "queries" ] ~docv:"FILE"
+        ~doc:"Batch query file (ultraspan-queries/1 text format).")
+
+let random_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "random" ] ~docv:"COUNT"
+        ~doc:
+          "Generate a seeded mixed workload of $(docv) queries (hot-skewed \
+           distance queries plus membership queries) instead of reading \
+           --queries.")
+
+let emit_queries_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-queries" ] ~docv:"FILE"
+        ~doc:"Also write the executed query batch to $(docv).")
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Serve a batch of s-t approximate-distance and edge-membership \
+          queries from a compiled oracle artifact.  Batches fan out over \
+          the domain pool with a fixed chunk schedule, so the result file \
+          is byte-identical for every -j.  With --verify local, rebuild \
+          the spanner's per-node witnesses on the original graph, run the \
+          CONGEST checker programs, and spot-check sampled answers \
+          against exact distances and the (2k-1) stretch contract.")
+    Term.(
+      const query $ oracle_pos_arg $ queries_arg $ random_arg
+      $ emit_queries_arg $ jobs_arg $ verify_arg $ metrics_arg $ input_arg
+      $ family_arg $ n_arg $ degree_arg $ weights_arg $ seed_arg $ output_arg)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -905,14 +1054,18 @@ let () =
       [
         generate_cmd; stats_cmd; spanner_cmd; certificate_cmd; resilience_cmd;
         stream_cmd; verify_cmd; trace_cmd; metrics_cmd; report_cmd;
+        compile_cmd; query_cmd;
       ]
   in
   (* Domain errors (unknown algorithm/family/program, unreadable input,
-     malformed stream files, out-of-range parameters) surface as
-     Failure/Sys_error/Invalid_argument; exit 1 cleanly instead of a crash
-     with backtrace, and keep cmdliner's own exit codes for usage errors. *)
+     malformed stream/query/oracle files, truncated or corrupt JSON
+     artifacts, out-of-range parameters) surface as
+     Failure/Sys_error/Invalid_argument/Exp_json.Error; exit 1 cleanly
+     instead of a crash with backtrace, and keep cmdliner's own exit codes
+     for usage errors. *)
   exit
     (try Cmd.eval ~catch:false group with
-    | Failure msg | Sys_error msg | Invalid_argument msg ->
+    | Failure msg | Sys_error msg | Invalid_argument msg
+    | Exp_json.Error msg ->
         Printf.eprintf "ultraspan: %s\n" msg;
         1)

@@ -53,7 +53,16 @@
       {!Eps_far} — sublinear bounded-BFS ε-far connectivity probes;
       {!Verify} — the front door ([local] / [exact] / [probe] modes)
       and the seeded corruption-detection matrix behind the CI
-      [verify] job. *)
+      [verify] job.
+
+    {1 Serving layer}
+
+    - {!Oracle} — spanners compiled into servable [ultraspan-oracle/1]
+      binary artifacts (CSR adjacency + per-cluster tree metadata,
+      checksummed, loaded through a zero-copy arena reader);
+      {!Query_engine} — the batch approximate-distance / membership
+      query engine: bounded bidirectional Dijkstra, deterministic
+      parallel execution, and a bounded LRU of hot SSSP trees. *)
 
 (* Utilities *)
 module Rng = Ultraspan_util.Rng
@@ -124,6 +133,10 @@ module Checkers = Ultraspan_congest.Checkers
 module Witness = Ultraspan_verify.Witness
 module Eps_far = Ultraspan_verify.Eps_far
 module Verify = Ultraspan_verify.Verify
+
+(* Distance-oracle serving layer *)
+module Oracle = Ultraspan_oracle.Oracle
+module Query_engine = Ultraspan_oracle.Query_engine
 
 (* Experiment artifacts *)
 module Exp_json = Ultraspan_exp.Json

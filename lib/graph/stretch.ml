@@ -7,11 +7,14 @@ module Parallel = Ultraspan_util.Parallel
    tentative distance has been settled, so unsettled targets are exactly
    the unreachable ones.  Distances of settled vertices are identical to a
    full single-source run — only unread entries differ. *)
-let distances_to_targets g keep v ~is_target ~remaining =
+let distances_to_targets ?keep g v ~is_target ~remaining =
   let n = Graph.n g in
   let dist = Array.make n Dijkstra.infinity in
   let settled = Ultraspan_util.Bitset.create n in
   let pq = Ultraspan_util.Pqueue.create ~cmp:compare () in
+  let allowed =
+    match keep with None -> fun _ -> true | Some mask -> fun eid -> mask.(eid)
+  in
   dist.(v) <- 0;
   Ultraspan_util.Pqueue.push pq 0 v;
   let remaining = ref remaining in
@@ -25,7 +28,7 @@ let distances_to_targets g keep v ~is_target ~remaining =
       end;
       if !remaining > 0 then
         Graph.iter_adj g x (fun u eid ->
-            if keep.(eid) then begin
+            if allowed eid then begin
               let nd = d + Graph.weight g eid in
               if nd < dist.(u) then begin
                 dist.(u) <- nd;
@@ -34,7 +37,7 @@ let distances_to_targets g keep v ~is_target ~remaining =
             end)
     end
   done;
-  dist
+  (dist, settled)
 
 let vertex_worst g keep v =
   (* Worst stretch among edges (v,u) with v < u (each edge charged once).
@@ -58,7 +61,9 @@ let vertex_worst g keep v =
           is_target.(u) <- true;
           incr remaining
         end);
-    let dist = distances_to_targets g keep v ~is_target ~remaining:!remaining in
+    let dist, _settled =
+      distances_to_targets ~keep g v ~is_target ~remaining:!remaining
+    in
     let worst = ref 0.0 and total = ref 0.0 and count = ref 0 in
     Graph.iter_adj g v (fun u eid ->
         if u > v then begin

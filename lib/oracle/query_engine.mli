@@ -1,0 +1,115 @@
+open! Import
+
+(** Batch query engine over a compiled {!Oracle.t}.
+
+    Answers two query kinds against the spanner the oracle froze:
+
+    - [dist s t] — the exact spanner distance [d_H(s, t)] (which the
+      spanner contract bounds by [(2k-1) * d_G(s, t)]), computed by a
+      bounded bidirectional Dijkstra whose search radius is capped by the
+      cluster-tree upper bound {!Oracle.tree_bound}; cross-cluster pairs
+      short-circuit to unreachable in O(1) via the component labels.
+    - [mem u v] — spanner edge membership; a positive answer carries the
+      edge id {e in the original graph}.
+
+    Batches fan out across the {!Parallel} domain pool with the fixed
+    block schedule of {!Parallel.iter_blocks}, per-block scratch (stamped
+    distance arrays, reusable heaps) hoisted out of the per-query loop,
+    and answers written by query index — result files are byte-identical
+    for every [--jobs], which the test suite asserts by [cmp].
+
+    Sources that recur often enough in a batch are served from a bounded,
+    mutex-protected LRU of single-source shortest-path trees (built with
+    the early-exit countdown search {!Stretch.distances_to_targets},
+    targeting exactly the partners the batch will ask about).  A cached
+    answer equals what the bidirectional search would return, so caching
+    never changes output bytes — only throughput. *)
+
+val queries_schema : string
+(** ["ultraspan-queries/1"] — header line of batch query files. *)
+
+val results_schema : string
+(** ["ultraspan-results/1"] — header line of result files. *)
+
+type query =
+  | Dist of int * int  (** [dist s t] *)
+  | Mem of int * int  (** [mem u v] *)
+
+type answer =
+  | Dist_answer of int  (** spanner distance; [Dijkstra.infinity] = unreachable *)
+  | Mem_answer of int option  (** original-graph edge id when present *)
+
+(** {1 Text formats} *)
+
+val parse_queries : path:string -> string -> query array
+(** Parse the [ultraspan-queries/1] text format (header line, then one
+    [dist s t] / [mem u v] query per line; blank lines ignored).  Raises
+    [Failure] with a one-line [path:line:] diagnostic on a bad header or
+    malformed line — the CLI turns that into exit 1. *)
+
+val load_queries : string -> query array
+
+val save_queries : string -> query array -> unit
+
+val render_results : query array -> answer array -> string
+(** The [ultraspan-results/1] file contents: header line, then one line
+    per query in input order — [dist s t <d|inf>], [mem u v yes <eid>],
+    [mem u v no].  Pure function of (queries, answers): this is where
+    byte-identity across job counts is decided. *)
+
+val save_results : string -> query array -> answer array -> unit
+
+(** {1 Workload generation} *)
+
+val generate : rng:Rng.t -> n:int -> count:int -> query array
+(** Seeded mixed workload: ~60% distance queries from a small hot pool of
+    sources (exercising the SSSP cache), ~15% uniform distance queries,
+    ~25% membership queries.  Deterministic in [rng]. *)
+
+(** {1 Execution} *)
+
+type stats = {
+  queries : int;
+  dist : int;  (** distance queries answered *)
+  mem : int;  (** membership queries answered *)
+  unreachable : int;  (** distance queries across clusters *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+(** [queries]/[dist]/[mem]/[unreachable] are functions of the batch and
+    oracle alone.  The cache totals are too as long as no eviction occurs
+    (per hot source: first access misses, the rest hit); under eviction
+    pressure with [jobs > 1] the interleaving decides them, which is why
+    their registry counters live in the [timing.*] execution namespace. *)
+
+val run :
+  ?jobs:int ->
+  ?metrics:Metrics.t ->
+  ?cache_capacity:int ->
+  Oracle.t ->
+  query array ->
+  answer array * stats
+(** Answer a batch.  [cache_capacity] bounds the SSSP-tree LRU (default
+    64 trees).  Registry counters: [oracle.queries_total] /
+    [oracle.dist_total] / [oracle.mem_total] / [oracle.unreachable_total]
+    (deterministic) and [timing.oracle.cache.hits_total] /
+    [misses_total] / [evictions_total]; all published from the calling
+    domain after the parallel section.  Raises [Failure] on out-of-range
+    query vertices (checked up front). *)
+
+(** {1 Local verification} *)
+
+val spot_check :
+  ?samples:int ->
+  rng:Rng.t ->
+  Graph.t ->
+  Oracle.t ->
+  query array ->
+  answer array ->
+  (int, string) result
+(** Sample [samples] (default 32) answered queries and check them against
+    the {e original} graph [g]: every distance answer [d] must satisfy
+    [d_G <= d <= (2k-1) * d_G] (exact point-to-point Dijkstra on [g]),
+    and every positive membership answer must name an edge of [g] with
+    the queried endpoints.  [Ok checked] or [Error diagnostic]. *)

@@ -17,5 +17,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("misc", Test_misc.suite);
       ("artifacts", Test_artifacts.suite);
+      ("oracle", Test_oracle.suite);
       ("integration", Test_integration.suite);
     ]

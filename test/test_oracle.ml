@@ -1,0 +1,233 @@
+open Ultraspan
+open Helpers
+
+(* The distance-oracle serving layer: the ultraspan-oracle/1 binary format
+   round-trips bit-for-bit, corrupt files are rejected with one-line
+   diagnostics, the batch engine's answers are exactly the spanner
+   distances (so the (2k-1) contract of a valid spanner transfers), result
+   files are byte-identical across job counts, and the SSSP-tree LRU is
+   deterministic under a fixed access trace. *)
+
+let spanner_of ~k g = (Bs_derand.run ~k g).Bs_derand.spanner
+
+(* A structurally interesting mask: random subset of the edges, so the
+   compiled oracle has several clusters and unreachable pairs.  The engine
+   contract (answers = exact spanner distances) holds for any mask. *)
+let random_mask seed g =
+  let rng = Rng.create (seed + 7) in
+  let keep = Array.init (Graph.m g) (fun _ -> Rng.int rng 4 > 0) in
+  { Spanner.keep; rounds = Rounds.create () }
+
+let with_tmp f =
+  let path = Filename.temp_file "oracle" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* ---------- binary format ---------- *)
+
+let compile_roundtrip =
+  qcheck ~count:25 "compile -> save -> load is structural identity" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~n_max:80 seed in
+      let o = Oracle.compile g ~k:3 (random_mask seed g) in
+      with_tmp (fun path ->
+          let bytes = Oracle.save path o in
+          let o' = Oracle.load path in
+          bytes > 0 && Oracle.equal o o'
+          && Int64.equal (Oracle.checksum o) (Oracle.checksum o')))
+
+let real_spanner_roundtrip () =
+  let g = unit_graph_of_seed 11 in
+  let o = Oracle.compile g ~k:2 (spanner_of ~k:2 g) in
+  with_tmp (fun path ->
+      ignore (Oracle.save path o);
+      let o' = Oracle.load path in
+      Alcotest.(check bool) "equal" true (Oracle.equal o o');
+      (* edge ids round-trip: the reloaded graph maps every spanner edge
+         to the same original id *)
+      Graph.iter_edges o'.Oracle.graph (fun e ->
+          let u', v' = Graph.endpoints g o'.Oracle.orig_eid.{e.Graph.id} in
+          Alcotest.(check (pair int int)) "orig endpoints" (e.Graph.u, e.Graph.v)
+            (u', v')))
+
+let corruption_rejected () =
+  let g = unit_graph_of_seed 5 in
+  let o = Oracle.compile g ~k:3 (spanner_of ~k:3 g) in
+  with_tmp (fun path ->
+      let bytes = Oracle.save path o in
+      let read () = In_channel.with_open_bin path In_channel.input_all in
+      let write s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s) in
+      let expect_failure what =
+        match Oracle.load path with
+        | _ -> Alcotest.failf "%s was accepted" what
+        | exception Failure msg ->
+            Alcotest.(check bool)
+              (what ^ " diagnostic names the file") true
+              (String.length msg > 0
+              && String.sub msg 0 (String.length path) = path)
+      in
+      let original = read () in
+      write (String.sub original 0 (bytes / 2));
+      expect_failure "truncated file";
+      let flipped = Bytes.of_string original in
+      let pos = 8 + (8 * 7) + 3 in
+      Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0xff));
+      write (Bytes.to_string flipped);
+      expect_failure "flipped payload byte";
+      write "USPANORCgarbage";
+      expect_failure "short garbage";
+      write ("XXXXXXXX" ^ String.sub original 8 (bytes - 8));
+      expect_failure "bad magic")
+
+(* ---------- engine correctness ---------- *)
+
+let reference_answers (o : Oracle.t) qs =
+  Array.map
+    (function
+      | Query_engine.Dist (s, t) ->
+          Query_engine.Dist_answer (Dijkstra.distance o.Oracle.graph s t)
+      | Query_engine.Mem (u, v) ->
+          Query_engine.Mem_answer
+            (if u = v then None
+             else
+               Option.map
+                 (fun e -> o.Oracle.orig_eid.{e})
+                 (Graph.find_edge o.Oracle.graph u v)))
+    qs
+
+let engine_exact =
+  qcheck ~count:20 "batch answers are exact spanner distances + membership"
+    seed_gen (fun seed ->
+      let g = graph_of_seed ~n_max:70 seed in
+      let o = Oracle.compile g ~k:3 (random_mask seed g) in
+      let qs =
+        Query_engine.generate ~rng:(Rng.create seed) ~n:(Graph.n g) ~count:200
+      in
+      let answers, stats = Query_engine.run ~jobs:1 o qs in
+      stats.Query_engine.queries = 200
+      && answers = reference_answers o qs)
+
+let stretch_contract () =
+  let g = unit_graph_of_seed 23 in
+  let k = 3 in
+  let o = Oracle.compile g ~k (spanner_of ~k g) in
+  let qs = Query_engine.generate ~rng:(Rng.create 9) ~n:(Graph.n g) ~count:400 in
+  let answers, _ = Query_engine.run ~jobs:1 o qs in
+  Array.iteri
+    (fun i q ->
+      match (q, answers.(i)) with
+      | Query_engine.Dist (s, t), Query_engine.Dist_answer d ->
+          let dg = Dijkstra.distance g s t in
+          if d < dg || d > ((2 * k) - 1) * dg then
+            Alcotest.failf "d_H(%d,%d) = %d outside [%d, %d]" s t d dg
+              (((2 * k) - 1) * dg)
+      | _ -> ())
+    qs;
+  match
+    Query_engine.spot_check ~rng:(Rng.create 4) g o qs answers
+  with
+  | Ok c -> Alcotest.(check bool) "spot-check ran" true (c > 0)
+  | Error m -> Alcotest.fail m
+
+let jobs_invariance () =
+  let g = graph_of_seed ~n_max:90 31 in
+  let o = Oracle.compile g ~k:3 (spanner_of ~k:3 g) in
+  let qs = Query_engine.generate ~rng:(Rng.create 17) ~n:(Graph.n g) ~count:600 in
+  let a1, s1 = Query_engine.run ~jobs:1 o qs in
+  let a4, s4 = Query_engine.run ~jobs:4 o qs in
+  Alcotest.(check string) "result files byte-identical for -j 1 vs -j 4"
+    (Query_engine.render_results qs a1)
+    (Query_engine.render_results qs a4);
+  Alcotest.(check (list int)) "deterministic stats"
+    [ s1.Query_engine.queries; s1.Query_engine.dist; s1.Query_engine.mem;
+      s1.Query_engine.unreachable ]
+    [ s4.Query_engine.queries; s4.Query_engine.dist; s4.Query_engine.mem;
+      s4.Query_engine.unreachable ];
+  (* no eviction at the default capacity, so the cache totals are
+     schedule-independent too *)
+  Alcotest.(check (list int)) "cache totals without eviction"
+    [ s1.Query_engine.cache_hits; s1.Query_engine.cache_misses; 0 ]
+    [ s4.Query_engine.cache_hits; s4.Query_engine.cache_misses;
+      s4.Query_engine.cache_evictions ]
+
+(* ---------- LRU determinism ---------- *)
+
+let lru_fixed_trace () =
+  let g = graph_of_seed ~n_max:90 41 in
+  let o = Oracle.compile g ~k:3 (spanner_of ~k:3 g) in
+  (* a fixed access trace with 12 distinct hot sources against a 4-entry
+     cache: evictions must occur, and at jobs:1 the whole trajectory —
+     hits, misses, evictions and every answer — is a pure function of the
+     trace, so two runs agree exactly *)
+  let n = Graph.n g in
+  let qs =
+    Array.init 480 (fun i ->
+        let src = i / 8 mod 12 in
+        Query_engine.Dist (src, (src + 1 + (i mod (n - 1))) mod n))
+  in
+  let run () = Query_engine.run ~jobs:1 ~cache_capacity:4 o qs in
+  let a1, s1 = run () in
+  let a2, s2 = run () in
+  Alcotest.(check bool) "answers identical" true (a1 = a2);
+  Alcotest.(check (list int)) "cache trajectory identical"
+    [ s1.Query_engine.cache_hits; s1.Query_engine.cache_misses;
+      s1.Query_engine.cache_evictions ]
+    [ s2.Query_engine.cache_hits; s2.Query_engine.cache_misses;
+      s2.Query_engine.cache_evictions ];
+  Alcotest.(check bool) "evictions actually happened" true
+    (s1.Query_engine.cache_evictions > 0);
+  (* eviction pressure must not change answers, only throughput *)
+  let a3, _ = Query_engine.run ~jobs:1 ~cache_capacity:64 o qs in
+  Alcotest.(check bool) "answers independent of capacity" true (a1 = a3)
+
+(* ---------- text formats ---------- *)
+
+let query_file_roundtrip () =
+  let qs =
+    [| Query_engine.Dist (0, 5); Query_engine.Mem (2, 3);
+       Query_engine.Dist (7, 7) |]
+  in
+  let path = Filename.temp_file "queries" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Query_engine.save_queries path qs;
+      Alcotest.(check bool) "round-trip" true (Query_engine.load_queries path = qs))
+
+let malformed_queries_rejected () =
+  let reject what s =
+    match Query_engine.parse_queries ~path:"q.txt" s with
+    | _ -> Alcotest.failf "%s was accepted" what
+    | exception Failure msg ->
+        Alcotest.(check bool) (what ^ " names the file") true
+          (String.length msg >= 5 && String.sub msg 0 5 = "q.txt")
+  in
+  reject "bad header" "ultraspan-queries/9\ndist 1 2\n";
+  reject "bad arity" "ultraspan-queries/1\ndist 1\n";
+  reject "bad vertex" "ultraspan-queries/1\ndist 1 x\n";
+  reject "negative vertex" "ultraspan-queries/1\nmem -1 2\n";
+  reject "unknown kind" "ultraspan-queries/1\npath 1 2\n"
+
+let out_of_range_rejected () =
+  let g = unit_graph_of_seed 3 in
+  let o = Oracle.compile g ~k:2 (spanner_of ~k:2 g) in
+  match Query_engine.run ~jobs:1 o [| Query_engine.Dist (0, Graph.n g) |] with
+  | _ -> Alcotest.fail "out-of-range query accepted"
+  | exception Failure _ -> ()
+
+let suite =
+  [
+    compile_roundtrip;
+    Alcotest.test_case "real-spanner save/load round-trip" `Quick
+      real_spanner_roundtrip;
+    Alcotest.test_case "corrupt artifacts rejected" `Quick corruption_rejected;
+    engine_exact;
+    Alcotest.test_case "(2k-1) stretch contract + spot-check" `Quick
+      stretch_contract;
+    Alcotest.test_case "results byte-identical across jobs" `Quick
+      jobs_invariance;
+    Alcotest.test_case "LRU deterministic under fixed trace" `Quick
+      lru_fixed_trace;
+    Alcotest.test_case "query file round-trip" `Quick query_file_roundtrip;
+    Alcotest.test_case "malformed query files rejected" `Quick
+      malformed_queries_rejected;
+    Alcotest.test_case "out-of-range query rejected" `Quick
+      out_of_range_rejected;
+  ]
